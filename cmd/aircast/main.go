@@ -1,0 +1,166 @@
+// Command aircast puts a broadcast program on real (UDP) air and fetches
+// pages from it — the networked end-to-end demonstration of the system.
+//
+// Serve a schedule (prints one UDP address per broadcast channel):
+//
+//	aircast -serve -counts 3,5,3 -t1 2 -channels 3 -slot 10ms -duration 5s
+//
+// Fetch a page from a running server (tunes to the channel, counts the
+// frames it had to observe — the real waiting time in slots):
+//
+//	aircast -fetch 127.0.0.1:41234 -page 4 -timeout 3s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tcsa"
+	"tcsa/internal/core"
+	"tcsa/internal/netcast"
+	"tcsa/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aircast:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aircast", flag.ContinueOnError)
+	serve := fs.Bool("serve", false, "run a broadcast server (publishes the schedule over TCP too)")
+	fetch := fs.String("fetch", "", "channel address to fetch from (host:port), camping on the channel")
+	smart := fs.String("smart", "", "schedule (TCP) address for a schedule-aware, dozing fetch")
+	page := fs.Int("page", 0, "page ID to fetch")
+	timeout := fs.Duration("timeout", 5*time.Second, "fetch timeout")
+	slot := fs.Duration("slot", 10*time.Millisecond, "slot duration on air")
+	duration := fs.Duration("duration", 0, "serve duration (0 = forever)")
+	counts := fs.String("counts", "", "comma-separated per-group page counts")
+	dist := fs.String("dist", "", "group-size distribution: uniform|normal|lskew|sskew")
+	pages := fs.Int("pages", 100, "total pages for -dist")
+	groups := fs.Int("groups", 4, "groups for -dist")
+	t1 := fs.Int("t1", 4, "smallest expected time")
+	ratio := fs.Int("ratio", 2, "geometric ratio c")
+	channels := fs.Int("channels", 0, "channel budget (0 = minimum)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *serve:
+		return runServe(out, *counts, *dist, *pages, *groups, *t1, *ratio, *channels, *slot, *duration)
+	case *fetch != "":
+		return runFetch(out, *fetch, core.PageID(*page), *timeout)
+	case *smart != "":
+		return runSmart(out, *smart, core.PageID(*page), *timeout)
+	default:
+		return fmt.Errorf("one of -serve, -fetch or -smart is required")
+	}
+}
+
+func runSmart(out io.Writer, scheduleAddr string, page core.PageID, timeout time.Duration) error {
+	res, err := netcast.SmartFetch(scheduleAddr, page, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "received page %d: %d active frames, dozed %d slots (%.1fms total)\n",
+		res.Page, res.ActiveFrames, res.DozedSlots,
+		float64(res.Elapsed.Microseconds())/1000)
+	return nil
+}
+
+func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, channels int, slot, duration time.Duration) error {
+	gs, err := buildInstance(counts, dist, pages, groups, t1, ratio)
+	if err != nil {
+		return err
+	}
+	n := channels
+	if n == 0 {
+		n = gs.MinChannels()
+	}
+	sched, err := tcsa.Build(gs, n)
+	if err != nil {
+		return err
+	}
+	srv, err := netcast.NewServer(sched.Program, netcast.ServerConfig{SlotDuration: slot})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "broadcasting %v with %s over %d channels, cycle %d slots, slot %v\n",
+		gs, sched.Algorithm, n, sched.Program.Length(), slot)
+	for ch, addr := range srv.ChannelAddrs() {
+		fmt.Fprintf(out, "channel %d: %v\n", ch, addr)
+	}
+	ss, err := netcast.ServeSchedule("127.0.0.1:0", srv)
+	if err != nil {
+		return err
+	}
+	defer ss.Close()
+	fmt.Fprintf(out, "schedule: %v\n", ss.Addr())
+	ctx := context.Background()
+	if duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, duration)
+		defer cancel()
+	}
+	if err := srv.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	fmt.Fprintf(out, "stopped after %d slots\n", srv.Slot())
+	return nil
+}
+
+func runFetch(out io.Writer, addr string, page core.PageID, timeout time.Duration) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("resolving %q: %w", addr, err)
+	}
+	tuner, err := netcast.NewTuner()
+	if err != nil {
+		return err
+	}
+	defer tuner.Close()
+	if err := tuner.Tune(udpAddr); err != nil {
+		return err
+	}
+	start := time.Now()
+	frames, err := tuner.WaitForPage(page, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "received page %d after %d frames (%.1fms)\n",
+		page, frames, float64(time.Since(start).Microseconds())/1000)
+	return nil
+}
+
+func buildInstance(counts, dist string, pages, groups, t1, ratio int) (*core.GroupSet, error) {
+	switch {
+	case counts != "":
+		var cs []int
+		for _, p := range strings.Split(counts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, v)
+		}
+		return core.Geometric(t1, ratio, cs)
+	case dist != "":
+		d, err := workload.ParseDistribution(dist)
+		if err != nil {
+			return nil, err
+		}
+		return workload.GroupSet(d, groups, pages, t1, ratio)
+	default:
+		return nil, fmt.Errorf("one of -counts or -dist is required")
+	}
+}

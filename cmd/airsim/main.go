@@ -1,0 +1,209 @@
+// Command airsim runs the full discrete-event broadcast simulation: a
+// scheduled program replayed on slotted air channels, single-tuner clients
+// arriving at random instants, optional frame loss, impatient clients
+// abandoning for a modelled on-demand (pull) server.
+//
+//	airsim -counts 3,5,3 -t1 2 -channels 3 -requests 500
+//	airsim -dist uniform -channels 13 -mode scan
+//	airsim -dist lskew -channels 5 -abandon 1.0 -service 2 -requests 3000
+//
+// With -abandon > 0, clients give up once their wait exceeds
+// abandon * expected time and their requests are replayed against the
+// on-demand server (service time -service slots), demonstrating the
+// paper's motivating congestion effect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"tcsa"
+	"tcsa/internal/airwave"
+	"tcsa/internal/core"
+	"tcsa/internal/eventsim"
+	"tcsa/internal/ondemand"
+	"tcsa/internal/sim"
+	"tcsa/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "airsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("airsim", flag.ContinueOnError)
+	counts := fs.String("counts", "", "comma-separated per-group page counts")
+	dist := fs.String("dist", "", "group-size distribution: uniform|normal|lskew|sskew")
+	pages := fs.Int("pages", 1000, "total pages for -dist")
+	groups := fs.Int("groups", 8, "groups for -dist")
+	t1 := fs.Int("t1", 4, "smallest expected time")
+	ratio := fs.Int("ratio", 2, "geometric ratio c")
+	channels := fs.Int("channels", 0, "channel budget (0 = minimum)")
+	mode := fs.String("mode", "aware", "client strategy: aware|scan")
+	abandon := fs.Float64("abandon", 0, "abandon after this multiple of the expected time (0 = never)")
+	service := fs.Float64("service", 2, "on-demand service time (slots) for abandoned requests")
+	requests := fs.Int("requests", 1000, "number of client requests")
+	seed := fs.Int64("seed", 1, "request seed")
+	traceN := fs.Int("trace", 0, "print the last N simulation events")
+	loss := fs.Float64("loss", 0, "uniform frame-loss probability")
+	burst := fs.Bool("burst", false, "use a bursty (Gilbert-Elliott) channel at the given -loss rate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	gs, err := buildInstance(*counts, *dist, *pages, *groups, *t1, *ratio)
+	if err != nil {
+		return err
+	}
+	n := *channels
+	if n == 0 {
+		n = gs.MinChannels()
+	}
+	sched, err := tcsa.Build(gs, n)
+	if err != nil {
+		return err
+	}
+	reqs, err := workload.GenerateRequests(gs, sched.Program.Length(), workload.RequestConfig{
+		Count: *requests,
+		Seed:  *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{AbandonAfter: *abandon}
+	switch *mode {
+	case "aware":
+		cfg.Mode = sim.ScheduleAware
+	case "scan":
+		cfg.Mode = sim.Scanning
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	var abandoned []workload.Request
+	if *abandon > 0 {
+		cfg.OnAbandon = func(r workload.Request, _ float64) { abandoned = append(abandoned, r) }
+	}
+	if *loss > 0 {
+		cfg.Drop, err = lossModel(*loss, *burst, *seed)
+		if err != nil {
+			return err
+		}
+	}
+	var tracer *sim.RingTracer
+	if *traceN > 0 {
+		tracer, err = sim.NewRingTracer(*traceN)
+		if err != nil {
+			return err
+		}
+		cfg.Trace = tracer.Record
+	}
+
+	outcome, err := sim.Run(sched.Program, reqs, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "instance:        %v\n", gs)
+	fmt.Fprintf(out, "scheduler:       %s over %d channels (minimum %d)\n", sched.Algorithm, n, sched.MinChannels)
+	fmt.Fprintf(out, "cycle length:    %d slots\n", sched.Program.Length())
+	fmt.Fprintf(out, "clients:         %d (%s mode)\n", outcome.Requests, *mode)
+	fmt.Fprintf(out, "served on air:   %d\n", outcome.Served)
+	fmt.Fprintf(out, "abandoned:       %d\n", outcome.Abandoned)
+	fmt.Fprintf(out, "avg wait:        %.3f slots\n", outcome.AvgWait)
+	fmt.Fprintf(out, "avg delay:       %.3f slots (AvgD)\n", outcome.AvgDelay)
+	fmt.Fprintf(out, "miss ratio:      %.3f\n", outcome.MissRatio)
+	fmt.Fprintf(out, "wait p95/p99:    %.1f / %.1f slots\n", outcome.Wait.P95, outcome.Wait.P99)
+	fmt.Fprintf(out, "slots simulated: %d\n", outcome.SlotsSimulated)
+
+	if tracer != nil {
+		fmt.Fprintf(out, "\ntrace (%d of %d events):\n%s", len(tracer.Events()), tracer.Total(), tracer)
+	}
+
+	if len(abandoned) > 0 {
+		m, err := pullThrough(abandoned, gs, *service)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\non-demand channel (service time %.1f slots):\n", *service)
+		fmt.Fprintf(out, "  pull requests: %d\n", m.Submitted)
+		fmt.Fprintf(out, "  avg response:  %.3f slots\n", m.AvgResponse)
+		fmt.Fprintf(out, "  p99 response:  %.3f slots\n", m.Response.P99)
+		fmt.Fprintf(out, "  max queue:     %d\n", m.MaxQueueLen)
+	}
+	return nil
+}
+
+// lossModel builds the requested channel model: uniform independent loss,
+// or a Gilbert-Elliott burst channel with the same stationary rate (fades
+// lose 90% of frames; state dwell ~5 slots).
+func lossModel(rate float64, burst bool, seed int64) (airwave.DropFunc, error) {
+	if !burst {
+		return airwave.UniformLoss(rate, seed)
+	}
+	const lossBad, dwell = 0.9, 0.2
+	if rate >= lossBad {
+		return nil, fmt.Errorf("burst loss rate %f must be below the in-fade rate %.1f", rate, lossBad)
+	}
+	// Solve piBad*lossBad = rate with piBad = g2b/(g2b+b2g), b2g = dwell.
+	piBad := rate / lossBad
+	g2b := dwell * piBad / (1 - piBad)
+	return airwave.GilbertElliott{
+		GoodToBad: g2b,
+		BadToGood: dwell,
+		LossBad:   lossBad,
+		Seed:      seed,
+	}.DropFunc()
+}
+
+// pullThrough replays abandoned requests against a single on-demand server,
+// spreading arrivals over one broadcast-cycle-scaled window.
+func pullThrough(abandoned []workload.Request, gs *core.GroupSet, service float64) (ondemand.Metrics, error) {
+	var clock eventsim.Simulator
+	srv, err := ondemand.New(&clock, ondemand.Config{ServiceTime: service, Discipline: ondemand.EDF})
+	if err != nil {
+		return ondemand.Metrics{}, err
+	}
+	for _, r := range abandoned {
+		r := r
+		if err := clock.At(r.Arrival, func() {
+			srv.Submit(ondemand.Request{
+				Page:     r.Page,
+				Deadline: r.Arrival + float64(gs.TimeOf(r.Page)),
+			})
+		}); err != nil {
+			return ondemand.Metrics{}, err
+		}
+	}
+	clock.Run()
+	return srv.Metrics(), nil
+}
+
+func buildInstance(counts, dist string, pages, groups, t1, ratio int) (*core.GroupSet, error) {
+	switch {
+	case counts != "":
+		var cs []int
+		for _, p := range strings.Split(counts, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, v)
+		}
+		return core.Geometric(t1, ratio, cs)
+	case dist != "":
+		d, err := workload.ParseDistribution(dist)
+		if err != nil {
+			return nil, err
+		}
+		return workload.GroupSet(d, groups, pages, t1, ratio)
+	default:
+		return nil, fmt.Errorf("one of -counts or -dist is required")
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-counts", "3,5,3", "-t1", "2", "-channels", "3", "-requests", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"PAMAD over 3 channels", "served on air:   200", "avg wait"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunScanMode(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-counts", "3,5,3", "-t1", "2", "-channels", "4", "-mode", "scan", "-requests", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scan mode") {
+		t.Errorf("missing mode marker:\n%s", out.String())
+	}
+}
+
+func TestRunWithImpatienceAndOnDemand(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-counts", "10,10,10", "-t1", "2", "-channels", "2",
+		"-abandon", "1.0", "-service", "2", "-requests", "300",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "abandoned:") {
+		t.Fatalf("missing abandonment line:\n%s", s)
+	}
+	if !strings.Contains(s, "on-demand channel") {
+		t.Errorf("abandonments did not reach the on-demand section:\n%s", s)
+	}
+}
+
+func TestRunDistWorkload(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-dist", "sskew", "-pages", "100", "-groups", "4", "-channels", "0", "-requests", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SUSC") {
+		t.Errorf("minimum channels should select SUSC:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{},                                    // no instance
+		{"-counts", "3", "-mode", "teleport"}, // unknown mode
+		{"-counts", "x"},                      // unparsable
+		{"-dist", "pareto"},                   // unknown distribution
+	}
+	for _, args := range tests {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-counts", "3,5,3", "-t1", "2", "-channels", "3", "-requests", "20", "-trace", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "trace (") || !strings.Contains(s, "serve") {
+		t.Errorf("trace output missing:\n%s", s)
+	}
+}
+
+func TestRunWithLossModels(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-loss", "0.2"},
+		{"-loss", "0.2", "-burst"},
+	} {
+		args := append([]string{"-counts", "3,5,3", "-t1", "2", "-channels", "4", "-requests", "100"}, extra...)
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if !strings.Contains(out.String(), "served on air:   100") {
+			t.Errorf("%v: clients lost under loss model:\n%s", extra, out.String())
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-counts", "3", "-loss", "0.95", "-burst"}, &out); err == nil {
+		t.Error("burst rate above in-fade rate accepted")
+	}
+}

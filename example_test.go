@@ -1,0 +1,43 @@
+package tcsa_test
+
+import (
+	"fmt"
+
+	"tcsa"
+)
+
+// The paper's Figure 2 instance: three groups with expected times 2, 4 and
+// 8 slots. Four channels meet the Theorem 3.1 bound, three do not.
+func ExampleBuild() {
+	gs, err := tcsa.Geometric(2, 2, []int{3, 5, 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("minimum channels:", tcsa.MinChannels(gs))
+
+	sufficient, _ := tcsa.Build(gs, 4)
+	fmt.Printf("4 channels: %s, valid=%v, avg delay %.3f\n",
+		sufficient.Algorithm, sufficient.Valid(), sufficient.ExpectedDelay)
+
+	tight, _ := tcsa.Build(gs, 3)
+	fmt.Printf("3 channels: %s, frequencies %v, cycle %d\n",
+		tight.Algorithm, tight.Frequencies, tight.Program.Length())
+	// Output:
+	// minimum channels: 4
+	// 4 channels: SUSC, valid=true, avg delay 0.000
+	// 3 channels: PAMAD, frequencies [4 2 1], cycle 9
+}
+
+// Arbitrary per-page expected times tighten onto geometric groups — the
+// paper's Section 2 example.
+func ExampleRearrange() {
+	r, err := tcsa.Rearrange([]int{2, 3, 4, 6, 9}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("new times:", r.NewTimes)
+	fmt.Println("groups:   ", r.Set)
+	// Output:
+	// new times: [2 2 4 4 8]
+	// groups:    {t=2:P=2, t=4:P=2, t=8:P=1}
+}

@@ -1,0 +1,91 @@
+// Traffic alerts: the paper's second motivating scenario (§1) under
+// channel scarcity.
+//
+// A city broadcasts incident pages to vehicles: accident warnings must
+// arrive within 8 slots, congestion updates within 32, roadwork notices
+// within 128. The city has far fewer broadcast channels than Theorem 3.1
+// demands, so a hard guarantee is impossible; the question is how much
+// value degrades. We compare the two §4 strategies head to head:
+//
+//   - PAMAD: lower each group's broadcast frequency (the paper's method);
+//   - m-PB: keep deadline-proportional frequencies and stretch the cycle.
+//
+// The program also reports per-group delays, showing PAMAD's even
+// dispersion of the unavoidable lateness.
+//
+//	go run ./examples/trafficalert
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tcsa"
+	"tcsa/internal/mpb"
+	"tcsa/internal/sim"
+	"tcsa/internal/workload"
+)
+
+func main() {
+	gs, err := tcsa.NewGroupSet([]tcsa.Group{
+		{Time: 8, Count: 40},   // accident warnings
+		{Time: 32, Count: 90},  // congestion updates
+		{Time: 128, Count: 70}, // roadwork notices
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	need := tcsa.MinChannels(gs)
+	const have = 3
+	fmt.Printf("instance %v needs %d channels; the city has %d\n\n", gs, need, have)
+
+	// PAMAD via the facade (insufficient budget selects it automatically).
+	sched, err := tcsa.Build(gs, have)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := workload.GenerateRequests(gs, sched.Program.Length(), workload.RequestConfig{
+		Count: 4000, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pm, err := sim.Measure(sched.Program, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// m-PB baseline on the same budget.
+	mProg, mRes, err := mpb.Build(gs, have)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mReqs, err := workload.GenerateRequests(gs, mProg.Length(), workload.RequestConfig{
+		Count: 4000, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mm, err := sim.Measure(mProg, mReqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %12s %12s\n", "", "PAMAD", "m-PB")
+	fmt.Printf("%-28s %12s %12s\n", "frequencies S_i",
+		fmt.Sprint(sched.Frequencies), fmt.Sprint([]int(mRes.Frequencies)))
+	fmt.Printf("%-28s %12d %12d\n", "cycle length (slots)", sched.Program.Length(), mProg.Length())
+	fmt.Printf("%-28s %12.2f %12.2f\n", "avg delay AvgD (slots)", pm.AvgDelay, mm.AvgDelay)
+	fmt.Printf("%-28s %12.2f %12.2f\n", "p99 delay (slots)", pm.Delay.P99, mm.Delay.P99)
+	fmt.Printf("%-28s %12.3f %12.3f\n", "deadline-miss ratio", pm.MissRatio, mm.MissRatio)
+
+	// Per-group view: how the delay is distributed across urgency classes.
+	fmt.Println("\nper-group average delay (slots beyond expected time):")
+	pa, ma := tcsa.Analyze(sched.Program), tcsa.Analyze(mProg)
+	for i := 0; i < gs.Len(); i++ {
+		fmt.Printf("  t=%-4d  PAMAD %8.2f   m-PB %8.2f\n",
+			gs.Group(i).Time, pa.GroupDelay(i), ma.GroupDelay(i))
+	}
+	fmt.Printf("\nPAMAD carries %.1fx less average delay on the same %d channels.\n",
+		mm.AvgDelay/pm.AvgDelay, have)
+}

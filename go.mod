@@ -1,0 +1,3 @@
+module tcsa
+
+go 1.23

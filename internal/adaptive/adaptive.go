@@ -1,0 +1,165 @@
+// Package adaptive closes the loop the paper leaves open between
+// expected-time acquisition and scheduling: a server-side controller that
+// continuously folds in piggybacked client tolerance reports
+// (internal/estimator), periodically re-derives the geometric group
+// structure (core.Rearrange) and rebuilds the broadcast program
+// (SUSC/PAMAD via the epoch budget). This is the "adaptive dissemination"
+// direction the paper cites (Fernandez-Conde & Ramamritham; Stathatos et
+// al.) realised on top of the paper's own schedulers.
+//
+// Identity: controller items are stable external indices 0..pages-1; every
+// rebuild re-maps them to fresh core.PageIDs (rearrangement reorders pages
+// by group). Locate translates an item to its current PageID, so clients
+// keep a stable handle across epochs.
+package adaptive
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/estimator"
+	"tcsa/internal/pamad"
+	"tcsa/internal/susc"
+)
+
+// Config parameterises the controller.
+type Config struct {
+	// Channels is the broadcast channel budget; must be >= 1.
+	Channels int
+	// Ratio is the rearrangement ratio c (default 2).
+	Ratio int
+	// Fallback is the expected time assigned to items nobody has reported
+	// on yet; must be >= 1.
+	Fallback int
+	// RebuildEvery rebuilds the program after this many new reports
+	// (default 1000). Report returns whether a rebuild happened.
+	RebuildEvery int
+	// Estimator tunes the underlying aggregation (quantile, reservoir,
+	// seed).
+	Estimator estimator.Config
+}
+
+// Epoch is one published schedule generation.
+type Epoch struct {
+	// Seq increments with every rebuild; 0 is the bootstrap epoch.
+	Seq int
+	// Program is the broadcast program of this epoch.
+	Program *core.Program
+	// Groups is the instance it was built for.
+	Groups *core.GroupSet
+	// Algorithm is "SUSC" or "PAMAD" depending on channel sufficiency.
+	Algorithm string
+	// IDs maps item index -> PageID within Program.
+	IDs []core.PageID
+}
+
+// Controller is the adaptive scheduling loop. Not safe for concurrent use;
+// wrap with external synchronisation if reports arrive from many
+// goroutines.
+type Controller struct {
+	cfg     Config
+	agg     *estimator.Aggregator
+	current Epoch
+	pending int
+}
+
+// New creates a controller for pages items and publishes the bootstrap
+// epoch, in which every item carries the fallback expected time.
+func New(pages int, cfg Config) (*Controller, error) {
+	if cfg.Channels < 1 {
+		return nil, fmt.Errorf("%w: %d channels", core.ErrInsufficientChannels, cfg.Channels)
+	}
+	if cfg.Ratio == 0 {
+		cfg.Ratio = 2
+	}
+	if cfg.Ratio < 2 {
+		return nil, fmt.Errorf("adaptive: ratio %d < 2", cfg.Ratio)
+	}
+	if cfg.Fallback < 1 {
+		return nil, fmt.Errorf("adaptive: fallback %d < 1", cfg.Fallback)
+	}
+	if cfg.RebuildEvery == 0 {
+		cfg.RebuildEvery = 1000
+	}
+	if cfg.RebuildEvery < 1 {
+		return nil, fmt.Errorf("adaptive: rebuild interval %d", cfg.RebuildEvery)
+	}
+	agg, err := estimator.NewAggregator(pages, cfg.Estimator)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, agg: agg}
+	epoch, err := c.buildEpoch(0)
+	if err != nil {
+		return nil, err
+	}
+	c.current = *epoch
+	return c, nil
+}
+
+// Report folds in one client's tolerated wait for an item and returns
+// whether it triggered a rebuild.
+func (c *Controller) Report(item int, tolerance float64) (rebuilt bool, err error) {
+	if err := c.agg.Report(core.PageID(item), tolerance); err != nil {
+		return false, err
+	}
+	c.pending++
+	if c.pending < c.cfg.RebuildEvery {
+		return false, nil
+	}
+	if err := c.Rebuild(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Rebuild re-derives the schedule from the current estimates immediately
+// and resets the report counter.
+func (c *Controller) Rebuild() error {
+	epoch, err := c.buildEpoch(c.current.Seq + 1)
+	if err != nil {
+		return err
+	}
+	c.current = *epoch
+	c.pending = 0
+	return nil
+}
+
+// Epoch returns the currently published schedule generation.
+func (c *Controller) Epoch() Epoch { return c.current }
+
+// Locate returns the current PageID of an item.
+func (c *Controller) Locate(item int) (core.PageID, error) {
+	if item < 0 || item >= len(c.current.IDs) {
+		return core.None, fmt.Errorf("%w: item %d", core.ErrPageRange, item)
+	}
+	return c.current.IDs[item], nil
+}
+
+// Reports exposes the per-item report count (observability).
+func (c *Controller) Reports(item int) int { return c.agg.Reports(core.PageID(item)) }
+
+// buildEpoch derives groups from the estimates and schedules them.
+func (c *Controller) buildEpoch(seq int) (*Epoch, error) {
+	re, err := c.agg.Groups(c.cfg.Ratio, c.cfg.Fallback)
+	if err != nil {
+		return nil, err
+	}
+	epoch := &Epoch{Seq: seq, Groups: re.Set, IDs: re.IDs}
+	if re.Set.SufficientFor(c.cfg.Channels) {
+		prog, err := susc.Build(re.Set, c.cfg.Channels)
+		if err != nil {
+			return nil, err
+		}
+		epoch.Program = prog
+		epoch.Algorithm = "SUSC"
+		return epoch, nil
+	}
+	prog, _, err := pamad.Build(re.Set, c.cfg.Channels)
+	if err != nil {
+		return nil, err
+	}
+	epoch.Program = prog
+	epoch.Algorithm = "PAMAD"
+	return epoch, nil
+}

@@ -1,0 +1,181 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/estimator"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(10, Config{Channels: 0, Fallback: 8}); err == nil {
+		t.Error("0 channels accepted")
+	}
+	if _, err := New(10, Config{Channels: 1, Fallback: 0}); err == nil {
+		t.Error("fallback 0 accepted")
+	}
+	if _, err := New(10, Config{Channels: 1, Fallback: 8, Ratio: 1}); err == nil {
+		t.Error("ratio 1 accepted")
+	}
+	if _, err := New(10, Config{Channels: 1, Fallback: 8, RebuildEvery: -1}); err == nil {
+		t.Error("negative rebuild interval accepted")
+	}
+	if _, err := New(0, Config{Channels: 1, Fallback: 8}); err == nil {
+		t.Error("0 pages accepted")
+	}
+}
+
+func TestBootstrapEpoch(t *testing.T) {
+	c, err := New(12, Config{Channels: 4, Fallback: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := c.Epoch()
+	if e.Seq != 0 {
+		t.Errorf("bootstrap Seq = %d", e.Seq)
+	}
+	if e.Groups.Len() != 1 || e.Groups.Group(0).Time != 16 {
+		t.Errorf("bootstrap groups = %v, want single fallback group", e.Groups)
+	}
+	if e.Program == nil || e.Program.Validate() != nil {
+		t.Error("bootstrap program missing or invalid (channels are sufficient)")
+	}
+	if e.Algorithm != "SUSC" {
+		t.Errorf("bootstrap algorithm = %s", e.Algorithm)
+	}
+	for item := 0; item < 12; item++ {
+		id, err := c.Locate(item)
+		if err != nil || id == core.None {
+			t.Fatalf("Locate(%d) = %d, %v", item, id, err)
+		}
+	}
+	if _, err := c.Locate(99); err == nil {
+		t.Error("Locate out of range accepted")
+	}
+}
+
+func TestRebuildEveryNReports(t *testing.T) {
+	c, err := New(4, Config{Channels: 2, Fallback: 32, RebuildEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilds := 0
+	for i := 0; i < 35; i++ {
+		rebuilt, err := c.Report(i%4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebuilt {
+			rebuilds++
+		}
+	}
+	if rebuilds != 3 {
+		t.Errorf("rebuilds = %d, want 3 after 35 reports at interval 10", rebuilds)
+	}
+	if c.Epoch().Seq != 3 {
+		t.Errorf("Seq = %d, want 3", c.Epoch().Seq)
+	}
+	if c.Reports(0) != 9 {
+		t.Errorf("Reports(0) = %d, want 9", c.Reports(0))
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	c, err := New(4, Config{Channels: 1, Fallback: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(9, 4); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := c.Report(0, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+// TestConvergence: with stationary client tolerances the controller's
+// schedule converges — after enough reports the group structure stops
+// changing and every item's scheduled expected time is at most its true
+// tolerance.
+func TestConvergence(t *testing.T) {
+	const items = 24
+	rng := rand.New(rand.NewSource(9))
+	truth := make([]float64, items)
+	for i := range truth {
+		truth[i] = []float64{4, 9, 17, 40}[rng.Intn(4)] + rng.Float64()*2
+	}
+	c, err := New(items, Config{
+		Channels:     8,
+		Fallback:     64,
+		RebuildEvery: 200,
+		Estimator:    estimator.Config{Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3000; r++ {
+		item := rng.Intn(items)
+		if _, err := c.Report(item, truth[item]*(1+rng.Float64()*0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	stable := c.Epoch().Groups
+	// More reports from the same population must not change the structure.
+	for r := 0; r < 1000; r++ {
+		item := rng.Intn(items)
+		if _, err := c.Report(item, truth[item]*(1+rng.Float64()*0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Epoch().Groups.Equal(stable) {
+		t.Errorf("structure still drifting: %v -> %v", stable, c.Epoch().Groups)
+	}
+	// Scheduled times never exceed the strictest plausible client need.
+	e := c.Epoch()
+	for item := 0; item < items; item++ {
+		id, err := c.Locate(item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Groups.TimeOf(id); float64(got) > truth[item]*1.3 {
+			t.Errorf("item %d scheduled at t=%d beyond any report (truth %f)", item, got, truth[item])
+		}
+	}
+}
+
+// TestEpochSwitchesAlgorithmWithLoad: as reports reveal tighter and
+// tighter tolerances, the required channels cross the budget and the
+// controller switches SUSC -> PAMAD.
+func TestEpochSwitchesAlgorithmWithLoad(t *testing.T) {
+	const items = 40
+	c, err := New(items, Config{Channels: 3, Fallback: 128, RebuildEvery: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch().Algorithm != "SUSC" {
+		t.Fatalf("bootstrap = %s, want SUSC (density 40/128 < 3)", c.Epoch().Algorithm)
+	}
+	// Everyone needs everything within 4 slots: density 40/4 = 10 > 3.
+	for item := 0; item < items; item++ {
+		if _, err := c.Report(item, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := c.Epoch()
+	if e.Seq != 1 {
+		t.Fatalf("Seq = %d, want 1", e.Seq)
+	}
+	if e.Algorithm != "PAMAD" {
+		t.Errorf("algorithm = %s, want PAMAD once channels are insufficient", e.Algorithm)
+	}
+	if e.Groups.MinChannels() <= 3 {
+		t.Errorf("MinChannels = %d, expected > budget", e.Groups.MinChannels())
+	}
+}

@@ -1,0 +1,113 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+)
+
+// TransitionReport quantifies what clients experience across an epoch
+// switch. The controller publishes epochs at cycle boundaries: the old
+// program runs to the end of its current cycle, then the new program
+// starts at phase zero. A client that tuned in during the final old cycle
+// and was not served before the boundary re-plans on the new schedule —
+// its item may have moved to a different PageID, channel and phase.
+type TransitionReport struct {
+	// AvgSpliceWait is the expected wait of a client arriving uniformly in
+	// the final old cycle, served either by the old program (before the
+	// boundary) or by the new one (after), averaged over items.
+	AvgSpliceWait float64
+	// AvgSteadyWait is the expected wait under the new program alone — the
+	// post-transition steady state.
+	AvgSteadyWait float64
+	// AvgExtra = AvgSpliceWait - AvgSteadyWait: the mean transition cost in
+	// slots (can be negative when the old epoch served most arrivals
+	// faster than the new steady state).
+	AvgExtra float64
+	// WorstItemExtra is the largest per-item splice-minus-steady gap, and
+	// WorstItem the item that suffers it.
+	WorstItemExtra float64
+	WorstItem      int
+	// CarriedOver is the expected fraction of final-cycle arrivals whose
+	// service crosses the boundary (uniform item access).
+	CarriedOver float64
+}
+
+// TransitionCost analyses the handoff from epoch old to epoch next. Both
+// epochs must cover the same item universe.
+func TransitionCost(old, next Epoch) (*TransitionReport, error) {
+	if old.Program == nil || next.Program == nil {
+		return nil, fmt.Errorf("adaptive: epoch without program")
+	}
+	if len(old.IDs) != len(next.IDs) {
+		return nil, fmt.Errorf("adaptive: item universes differ (%d vs %d)", len(old.IDs), len(next.IDs))
+	}
+	items := len(old.IDs)
+	oldA := core.Analyze(old.Program)
+	newA := core.Analyze(next.Program)
+	L := float64(old.Program.Length())
+	newStart := newWait0(newA, next.IDs)
+
+	rep := &TransitionReport{WorstItem: -1}
+	for item := 0; item < items; item++ {
+		oldID, newID := old.IDs[item], next.IDs[item]
+		splice := spliceWait(oldA, oldID, L, newStart[item])
+		steady := newA.PageWait(newID)
+		rep.AvgSpliceWait += splice
+		rep.AvgSteadyWait += steady
+		if extra := splice - steady; extra > rep.WorstItemExtra || rep.WorstItem < 0 {
+			rep.WorstItemExtra = extra
+			rep.WorstItem = item
+		}
+		rep.CarriedOver += carryProbability(oldA, oldID, L)
+	}
+	rep.AvgSpliceWait /= float64(items)
+	rep.AvgSteadyWait /= float64(items)
+	rep.CarriedOver /= float64(items)
+	rep.AvgExtra = rep.AvgSpliceWait - rep.AvgSteadyWait
+	return rep, nil
+}
+
+// newWait0 precomputes each item's wait on the new program from phase 0.
+func newWait0(a *core.Analysis, ids []core.PageID) []float64 {
+	out := make([]float64, len(ids))
+	for item, id := range ids {
+		out[item] = a.NextAfter(id, 0)
+	}
+	return out
+}
+
+// spliceWait is E over arrival u ~ U[0, L) of the wait when the old
+// program stops at L (the cycle boundary) and the new program takes over:
+// arrivals at or before the item's last old appearance are served
+// in-cycle; later arrivals wait out the boundary plus the new program's
+// phase-0 wait.
+func spliceWait(a *core.Analysis, id core.PageID, L, newWait float64) float64 {
+	cols := a.Appearances(id)
+	if len(cols) == 0 {
+		return L/2 + newWait // never served in-cycle: everyone carries over
+	}
+	var sum float64
+	prev := 0.0
+	for _, c := range cols {
+		// Arrivals in (prev, c] wait until column c: mean gap/2 over a
+		// span of (c - prev).
+		span := float64(c) - prev
+		sum += span * span / 2
+		prev = float64(c)
+	}
+	// Arrivals after the final appearance carry over the boundary.
+	tail := L - prev
+	sum += tail * (tail/2 + newWait)
+	return sum / L
+}
+
+// carryProbability is the chance a uniform final-cycle arrival for this
+// item crosses the boundary.
+func carryProbability(a *core.Analysis, id core.PageID, L float64) float64 {
+	cols := a.Appearances(id)
+	if len(cols) == 0 {
+		return 1
+	}
+	return (L - float64(cols[len(cols)-1])) / L
+}

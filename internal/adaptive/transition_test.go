@@ -1,0 +1,136 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// identicalEpochs builds a controller and returns two epochs with the same
+// schedule (rebuild without new information).
+func identicalEpochs(t *testing.T) (Epoch, Epoch) {
+	t.Helper()
+	c, err := New(8, Config{Channels: 2, Fallback: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldE := c.Epoch()
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	return oldE, c.Epoch()
+}
+
+func TestTransitionValidation(t *testing.T) {
+	oldE, newE := identicalEpochs(t)
+	if _, err := TransitionCost(Epoch{}, newE); err == nil {
+		t.Error("epoch without program accepted")
+	}
+	short := newE
+	short.IDs = short.IDs[:2]
+	if _, err := TransitionCost(oldE, short); err == nil {
+		t.Error("mismatched universes accepted")
+	}
+}
+
+// TestIdenticalEpochTransition: switching to the same schedule still costs
+// something for the boundary-crossers (the new cycle restarts at phase 0),
+// but the splice wait must stay within the old cycle bound and the carried
+// fraction must match the appearance structure.
+func TestIdenticalEpochTransition(t *testing.T) {
+	oldE, newE := identicalEpochs(t)
+	rep, err := TransitionCost(oldE, newE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgSpliceWait <= 0 {
+		t.Errorf("AvgSpliceWait = %f", rep.AvgSpliceWait)
+	}
+	if rep.CarriedOver <= 0 || rep.CarriedOver >= 1 {
+		t.Errorf("CarriedOver = %f, want in (0,1)", rep.CarriedOver)
+	}
+	if rep.AvgSpliceWait > float64(oldE.Program.Length())+float64(newE.Program.Length()) {
+		t.Errorf("splice wait %f exceeds both cycles", rep.AvgSpliceWait)
+	}
+	if rep.WorstItem < 0 || rep.WorstItem >= len(oldE.IDs) {
+		t.Errorf("WorstItem = %d", rep.WorstItem)
+	}
+}
+
+// TestSpliceWaitMonteCarlo cross-checks the closed form against direct
+// simulation of the splice semantics.
+func TestSpliceWaitMonteCarlo(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 4, Count: 2}})
+	oldP, _ := core.NewProgram(gs, 1, 8)
+	for _, c := range [][3]int{{0, 1, 0}, {0, 5, 0}, {0, 3, 1}} {
+		if err := oldP.Place(c[0], c[1], core.PageID(c[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newP, _ := core.NewProgram(gs, 1, 6)
+	for _, c := range [][3]int{{0, 2, 0}, {0, 4, 1}} {
+		if err := newP.Place(c[0], c[1], core.PageID(c[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldE := Epoch{Program: oldP, Groups: gs, IDs: []core.PageID{0, 1}}
+	newE := Epoch{Program: newP, Groups: gs, IDs: []core.PageID{0, 1}}
+	rep, err := TransitionCost(oldE, newE)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldA, newA := core.Analyze(oldP), core.Analyze(newP)
+	rng := rand.New(rand.NewSource(3))
+	const samples = 400000
+	var sum float64
+	L := 8.0
+	for s := 0; s < samples; s++ {
+		item := rng.Intn(2)
+		u := rng.Float64() * L
+		w := oldA.NextAfter(core.PageID(item), u)
+		if u+w >= L { // old program ends at the cycle boundary
+			w = (L - u) + newA.NextAfter(core.PageID(item), 0)
+		}
+		sum += w
+	}
+	mc := sum / samples
+	if math.Abs(mc-rep.AvgSpliceWait) > 0.02 {
+		t.Errorf("closed-form splice %f vs Monte-Carlo %f", rep.AvgSpliceWait, mc)
+	}
+}
+
+// TestTransitionAfterLearning: an epoch switch that tightens hot pages'
+// frequencies pays a bounded, measurable one-cycle cost.
+func TestTransitionAfterLearning(t *testing.T) {
+	c, err := New(16, Config{Channels: 4, Fallback: 64, RebuildEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Epoch()
+	for item := 0; item < 8; item++ { // half the items turn out urgent
+		if _, err := c.Report(item, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Epoch()
+	if after.Groups.Equal(before.Groups) {
+		t.Fatal("rebuild did not change the structure")
+	}
+	rep, err := TransitionCost(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(before.Program.Length() + after.Program.Length())
+	if rep.AvgSpliceWait < 0 || rep.AvgSpliceWait > bound {
+		t.Errorf("AvgSpliceWait = %f outside [0, %f]", rep.AvgSpliceWait, bound)
+	}
+	if rep.AvgSteadyWait <= 0 {
+		t.Errorf("AvgSteadyWait = %f", rep.AvgSteadyWait)
+	}
+}

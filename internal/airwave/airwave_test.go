@@ -1,0 +1,246 @@
+package airwave
+
+import (
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/eventsim"
+)
+
+// twoChannelProgram builds a 2x4 program:
+//
+//	ch0 | 0 1 0 1
+//	ch1 | 2 2 2 2
+func twoChannelProgram(t *testing.T) *core.Program {
+	t.Helper()
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 4, Count: 1}})
+	p, err := core.NewProgram(gs, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 4; slot++ {
+		if err := p.Place(0, slot, core.PageID(slot%2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Place(1, slot, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	var sim eventsim.Simulator
+	prog := twoChannelProgram(t)
+	if _, err := New(nil, prog); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := New(&sim, nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	m, err := New(&sim, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Program() != prog {
+		t.Error("Program() mismatch")
+	}
+	if _, err := m.NewTuner(nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestBroadcastDeliversProgramCyclically(t *testing.T) {
+	var sim eventsim.Simulator
+	m, err := New(&sim, twoChannelProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.PageID
+	tuner, err := m.NewTuner(func(f Frame) { got = append(got, f.Page) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tuner.TuneTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(9.5) // slots 0..9
+	want := []core.PageID{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("received %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frames = %v, want %v", got, want)
+		}
+	}
+	if m.Slot() != 10 {
+		t.Errorf("Slot = %d, want 10", m.Slot())
+	}
+}
+
+func TestTunerHearsOnlyItsChannel(t *testing.T) {
+	var sim eventsim.Simulator
+	m, _ := New(&sim, twoChannelProgram(t))
+	var frames []Frame
+	tuner, _ := m.NewTuner(func(f Frame) { frames = append(frames, f) })
+	_ = tuner.TuneTo(1)
+	_ = m.Start()
+	sim.RunUntil(3.5)
+	for _, f := range frames {
+		if f.Channel != 1 || f.Page != 2 {
+			t.Fatalf("heard foreign frame %+v", f)
+		}
+	}
+	if len(frames) != 4 {
+		t.Errorf("received %d frames, want 4", len(frames))
+	}
+}
+
+func TestRetuneMidBroadcast(t *testing.T) {
+	var sim eventsim.Simulator
+	m, _ := New(&sim, twoChannelProgram(t))
+	var got []core.PageID
+	var tuner *Tuner
+	tuner, _ = m.NewTuner(func(f Frame) {
+		got = append(got, f.Page)
+		if len(got) == 2 {
+			_ = tuner.TuneTo(1)
+		}
+	})
+	_ = tuner.TuneTo(0)
+	_ = m.Start()
+	sim.RunUntil(4.5)
+	// Slots 0,1 on ch0 (pages 0,1) then slots 2,3,4 on ch1 (page 2).
+	want := []core.PageID{0, 1, 2, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("frames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDetach(t *testing.T) {
+	var sim eventsim.Simulator
+	m, _ := New(&sim, twoChannelProgram(t))
+	count := 0
+	var tuner *Tuner
+	tuner, _ = m.NewTuner(func(Frame) {
+		count++
+		if count == 3 {
+			tuner.Detach()
+		}
+	})
+	_ = tuner.TuneTo(0)
+	_ = m.Start()
+	sim.RunUntil(9.5)
+	if count != 3 {
+		t.Errorf("received %d frames after detach-at-3, want 3", count)
+	}
+	if tuner.Channel() != -1 {
+		t.Errorf("Channel = %d after Detach, want -1", tuner.Channel())
+	}
+}
+
+func TestTuneToValidation(t *testing.T) {
+	var sim eventsim.Simulator
+	m, _ := New(&sim, twoChannelProgram(t))
+	tuner, _ := m.NewTuner(func(Frame) {})
+	if err := tuner.TuneTo(5); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	if err := tuner.TuneTo(-1); err == nil {
+		t.Error("negative channel accepted")
+	}
+}
+
+func TestDropFunc(t *testing.T) {
+	var sim eventsim.Simulator
+	dropOdd := func(f Frame) bool { return f.Slot%2 == 1 }
+	m, err := New(&sim, twoChannelProgram(t), WithDropFunc(dropOdd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slots []int
+	tuner, _ := m.NewTuner(func(f Frame) { slots = append(slots, f.Slot) })
+	_ = tuner.TuneTo(0)
+	_ = m.Start()
+	sim.RunUntil(7.5)
+	want := []int{0, 2, 4, 6}
+	if len(slots) != len(want) {
+		t.Fatalf("slots = %v, want %v", slots, want)
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", slots, want)
+		}
+	}
+}
+
+func TestStartTwiceAndStop(t *testing.T) {
+	var sim eventsim.Simulator
+	m, _ := New(&sim, twoChannelProgram(t))
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Error("second Start accepted")
+	}
+	count := 0
+	tuner, _ := m.NewTuner(func(Frame) {
+		count++
+		if count == 2 {
+			m.Stop()
+		}
+	})
+	_ = tuner.TuneTo(0)
+	sim.Run() // must terminate because Stop ends the periodic event
+	if count != 2 {
+		t.Errorf("frames after Stop-at-2: %d", count)
+	}
+}
+
+func TestStartAtFractionalTime(t *testing.T) {
+	var sim eventsim.Simulator
+	_ = sim.At(2.3, func() {})
+	sim.Run() // now = 2.3
+	m, _ := New(&sim, twoChannelProgram(t))
+	var first float64 = -1
+	tuner, _ := m.NewTuner(func(Frame) {
+		if first < 0 {
+			first = sim.Now()
+		}
+		m.Stop()
+	})
+	_ = tuner.TuneTo(0)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if first != 3 {
+		t.Errorf("first frame at %f, want next slot boundary 3", first)
+	}
+}
+
+func TestPageAt(t *testing.T) {
+	var sim eventsim.Simulator
+	m, _ := New(&sim, twoChannelProgram(t))
+	if got := m.PageAt(0, 6); got != 0 { // column 6%4=2 on ch0 = page 0
+		t.Errorf("PageAt(0,6) = %d, want 0", got)
+	}
+	if got := m.PageAt(1, 100); got != 2 {
+		t.Errorf("PageAt(1,100) = %d, want 2", got)
+	}
+	if got := m.PageAt(5, 0); got != core.None {
+		t.Errorf("PageAt bad channel = %d, want None", got)
+	}
+	if got := m.PageAt(0, -1); got != core.None {
+		t.Errorf("PageAt negative slot = %d, want None", got)
+	}
+}

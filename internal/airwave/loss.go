@@ -1,0 +1,75 @@
+package airwave
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UniformLoss returns a DropFunc that loses each frame independently with
+// probability p, seeded for reproducibility.
+func UniformLoss(p float64, seed int64) (DropFunc, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("airwave: loss probability %f", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return func(Frame) bool { return rng.Float64() < p }, nil
+}
+
+// GilbertElliott models bursty wireless loss with the classic two-state
+// chain: a Good state with low loss and a Bad state (deep fade) with high
+// loss, switching with the given per-frame transition probabilities. The
+// stationary loss rate is
+//
+//	pBad/(pGood+pBad)*lossBad + pGood/(pGood+pBad)*lossGood
+//
+// with mean burst length 1/pBad frames.
+type GilbertElliott struct {
+	// GoodToBad and BadToGood are per-frame transition probabilities.
+	GoodToBad, BadToGood float64
+	// LossGood and LossBad are the loss probabilities within each state.
+	LossGood, LossBad float64
+	// Seed drives the chain.
+	Seed int64
+}
+
+// DropFunc materialises the model. The returned function is stateful and
+// must be used by a single Medium (the simulation is single-threaded).
+func (g GilbertElliott) DropFunc() (DropFunc, error) {
+	for _, p := range []float64{g.GoodToBad, g.BadToGood, g.LossGood, g.LossBad} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("airwave: gilbert-elliott probability %f outside [0,1]", p)
+		}
+	}
+	if g.BadToGood == 0 && g.GoodToBad > 0 {
+		return nil, fmt.Errorf("airwave: gilbert-elliott absorbs in the bad state (BadToGood = 0)")
+	}
+	rng := rand.New(rand.NewSource(g.Seed))
+	bad := false
+	lastSlot := -1
+	return func(f Frame) bool {
+		// Advance the channel state once per slot (frames within a slot
+		// share fading conditions).
+		if f.Slot != lastSlot {
+			steps := 1
+			if lastSlot >= 0 && f.Slot > lastSlot {
+				steps = f.Slot - lastSlot
+			}
+			for i := 0; i < steps; i++ {
+				if bad {
+					if rng.Float64() < g.BadToGood {
+						bad = false
+					}
+				} else {
+					if rng.Float64() < g.GoodToBad {
+						bad = true
+					}
+				}
+			}
+			lastSlot = f.Slot
+		}
+		if bad {
+			return rng.Float64() < g.LossBad
+		}
+		return rng.Float64() < g.LossGood
+	}, nil
+}

@@ -1,0 +1,134 @@
+package airwave
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformLoss(t *testing.T) {
+	if _, err := UniformLoss(-0.1, 1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, err := UniformLoss(1.1, 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	drop, err := UniformLoss(0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	const frames = 100000
+	for i := 0; i < frames; i++ {
+		if drop(Frame{Slot: i}) {
+			lost++
+		}
+	}
+	if rate := float64(lost) / frames; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("loss rate %f, want ~0.3", rate)
+	}
+}
+
+func TestUniformLossDeterministic(t *testing.T) {
+	a, _ := UniformLoss(0.5, 42)
+	b, _ := UniformLoss(0.5, 42)
+	for i := 0; i < 1000; i++ {
+		f := Frame{Slot: i}
+		if a(f) != b(f) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := (GilbertElliott{GoodToBad: 2}).DropFunc(); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := (GilbertElliott{GoodToBad: 0.1, BadToGood: 0}).DropFunc(); err == nil {
+		t.Error("absorbing bad state accepted")
+	}
+}
+
+// TestGilbertElliottStationaryRate: the long-run loss rate matches the
+// stationary-distribution prediction.
+func TestGilbertElliottStationaryRate(t *testing.T) {
+	g := GilbertElliott{
+		GoodToBad: 0.05,
+		BadToGood: 0.25,
+		LossGood:  0.01,
+		LossBad:   0.8,
+		Seed:      3,
+	}
+	drop, err := g.DropFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	const frames = 400000
+	for i := 0; i < frames; i++ {
+		if drop(Frame{Slot: i}) {
+			lost++
+		}
+	}
+	piBad := g.GoodToBad / (g.GoodToBad + g.BadToGood)
+	want := piBad*g.LossBad + (1-piBad)*g.LossGood
+	if rate := float64(lost) / frames; math.Abs(rate-want) > 0.01 {
+		t.Errorf("loss rate %f, want ~%f", rate, want)
+	}
+}
+
+// TestGilbertElliottBursts: losses cluster — the conditional probability
+// of losing frame k+1 given frame k was lost is far above the marginal.
+func TestGilbertElliottBursts(t *testing.T) {
+	g := GilbertElliott{
+		GoodToBad: 0.02,
+		BadToGood: 0.2,
+		LossGood:  0.0,
+		LossBad:   0.9,
+		Seed:      4,
+	}
+	drop, err := g.DropFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 200000
+	losses := make([]bool, frames)
+	total := 0
+	for i := 0; i < frames; i++ {
+		losses[i] = drop(Frame{Slot: i})
+		if losses[i] {
+			total++
+		}
+	}
+	marginal := float64(total) / frames
+	var afterLoss, lossAfterLoss int
+	for i := 1; i < frames; i++ {
+		if losses[i-1] {
+			afterLoss++
+			if losses[i] {
+				lossAfterLoss++
+			}
+		}
+	}
+	conditional := float64(lossAfterLoss) / float64(afterLoss)
+	if conditional < 3*marginal {
+		t.Errorf("conditional loss %f not much above marginal %f — no burstiness", conditional, marginal)
+	}
+}
+
+// TestGilbertElliottSameSlotSharesState: frames in the same slot see the
+// same channel state (the chain advances per slot, not per frame).
+func TestGilbertElliottSameSlotSharesState(t *testing.T) {
+	g := GilbertElliott{GoodToBad: 0.5, BadToGood: 0.5, LossGood: 0, LossBad: 1, Seed: 5}
+	drop, err := g.DropFunc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 2000; slot++ {
+		first := drop(Frame{Slot: slot, Channel: 0})
+		second := drop(Frame{Slot: slot, Channel: 1})
+		if first != second {
+			t.Fatalf("slot %d: channel 0 lost=%v but channel 1 lost=%v with deterministic per-state loss",
+				slot, first, second)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package bdisk_test
+
+import (
+	"fmt"
+
+	"tcsa/internal/bdisk"
+	"tcsa/internal/core"
+)
+
+// A two-speed broadcast disk: two hot pages spin twice as fast as four
+// cold ones, chunk-interleaved on a single channel (SIGMOD '95).
+func ExampleBuild() {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 4, Count: 4}})
+	disks := []bdisk.Disk{
+		{Pages: []core.PageID{0, 1}, Freq: 2},
+		{Pages: []core.PageID{2, 3, 4, 5}, Freq: 1},
+	}
+	prog, err := bdisk.Build(gs, disks, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(prog)
+	// Output:
+	// ch0  |  0  1  2  3  0  1  4  5
+}

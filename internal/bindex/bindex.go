@@ -1,0 +1,195 @@
+// Package bindex adds classical (1, m) air indexing on top of a broadcast
+// program — the energy-saving technique of the index literature the paper
+// cites (Hu, Lee & Lee's hybrid index work, reference [10]): a directory of
+// the cycle is interleaved m times per cycle so battery-powered clients can
+// doze instead of listening continuously.
+//
+// Client protocol (the standard (1, m) access pattern):
+//
+//  1. tune in and probe the current slot (1 active slot);
+//  2. doze until the next index segment begins;
+//  3. read the index (IndexSlots active slots) and learn the exact slot and
+//     channel of the wanted page;
+//  4. doze until that slot; receive the page (1 active slot).
+//
+// Inserting m index segments stretches the cycle from L to L + m*IndexSlots
+// columns, trading access time (latency) for tuning time (energy): without
+// an index a schedule-ignorant client must listen during its entire wait.
+// AvgAccessTime/AvgTuningTime quantify the trade exactly (closed form, no
+// simulation), and Baseline gives the index-less comparison point.
+package bindex
+
+import (
+	"errors"
+	"fmt"
+
+	"tcsa/internal/core"
+)
+
+// Config parameterises the interleaving.
+type Config struct {
+	// M is the number of index segments per cycle (m in "(1, m) indexing");
+	// must be >= 1.
+	M int
+	// IndexSlots is the length of one index segment in slots; must be >= 1.
+	// A real directory of n pages costs O(n / fanout) slots; callers pick
+	// the value matching their page size.
+	IndexSlots int
+}
+
+// Indexed is a broadcast program with index segments interleaved.
+type Indexed struct {
+	prog   *core.Program
+	cfg    Config
+	length int   // stretched cycle length
+	starts []int // index segment start columns (stretched coordinates)
+	// dataCol[c] maps original column c to its stretched column.
+	dataCol []int
+}
+
+// Build interleaves cfg.M index segments, evenly spaced, into prog's cycle.
+// Segment k is inserted before original column floor(L*k/M).
+func Build(prog *core.Program, cfg Config) (*Indexed, error) {
+	if prog == nil {
+		return nil, errors.New("bindex: nil program")
+	}
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("bindex: m = %d", cfg.M)
+	}
+	if cfg.IndexSlots < 1 {
+		return nil, fmt.Errorf("bindex: index length %d", cfg.IndexSlots)
+	}
+	L := prog.Length()
+	if cfg.M > L {
+		return nil, fmt.Errorf("bindex: m = %d exceeds cycle length %d", cfg.M, L)
+	}
+	ix := &Indexed{
+		prog:    prog,
+		cfg:     cfg,
+		length:  L + cfg.M*cfg.IndexSlots,
+		starts:  make([]int, cfg.M),
+		dataCol: make([]int, L),
+	}
+	// anchor[k] = original column before which segment k sits.
+	seg := 0
+	shift := 0
+	for c := 0; c < L; c++ {
+		for seg < cfg.M && c == L*seg/cfg.M {
+			ix.starts[seg] = c + shift
+			shift += cfg.IndexSlots
+			seg++
+		}
+		ix.dataCol[c] = c + shift
+	}
+	for ; seg < cfg.M; seg++ { // M == L edge: trailing segments
+		ix.starts[seg] = L + shift
+		shift += cfg.IndexSlots
+	}
+	return ix, nil
+}
+
+// Length returns the stretched cycle length.
+func (ix *Indexed) Length() int { return ix.length }
+
+// IndexStarts returns the start columns of the index segments (stretched
+// coordinates; shared slice, do not modify).
+func (ix *Indexed) IndexStarts() []int { return ix.starts }
+
+// DataColumn maps an original program column to its stretched column.
+func (ix *Indexed) DataColumn(c int) int { return ix.dataCol[c] }
+
+// Metrics are the expected per-request costs of the (1, m) access protocol,
+// averaged over a uniformly random arrival instant and uniformly random
+// wanted page.
+type Metrics struct {
+	// AccessTime is the expected slots from tune-in to page reception.
+	AccessTime float64
+	// TuningTime is the expected active (listening) slots: the energy cost.
+	TuningTime float64
+	// CycleStretch is the stretched/original cycle length ratio >= 1.
+	CycleStretch float64
+}
+
+// Analyze computes the closed-form expected access and tuning times.
+func (ix *Indexed) Analyze() Metrics {
+	Ls := float64(ix.length)
+	m := Metrics{
+		// Probe slot + index read + final page slot are always active.
+		TuningTime:   float64(1 + ix.cfg.IndexSlots + 1),
+		CycleStretch: Ls / float64(ix.prog.Length()),
+	}
+
+	// E[wait to next index segment start]: arrival uniform over the
+	// stretched cycle; segments at ix.starts. Gap structure identical to
+	// the page-wait computation in core.
+	var waitIndex float64
+	for k := range ix.starts {
+		var g float64
+		if k+1 < len(ix.starts) {
+			g = float64(ix.starts[k+1] - ix.starts[k])
+		} else {
+			g = float64(ix.starts[0] + ix.length - ix.starts[len(ix.starts)-1])
+		}
+		waitIndex += g * g / (2 * Ls)
+	}
+
+	// E[wait from index end to the page]: for each index segment and page,
+	// distance from segment end to the page's next appearance, averaged
+	// over segments (arrival lands in each segment's basin with probability
+	// proportional to its preceding gap — for evenly spaced segments the
+	// basins are equal; we weight by basin size for exactness).
+	table := ix.prog.AppearanceTable()
+	n := ix.prog.GroupSet().Pages()
+	var afterIndex float64
+	totalWeight := 0.0
+	for k := range ix.starts {
+		end := ix.starts[k] + ix.cfg.IndexSlots
+		var basin float64
+		if k+1 < len(ix.starts) {
+			basin = float64(ix.starts[k+1] - ix.starts[k])
+		} else {
+			basin = float64(ix.starts[0] + ix.length - ix.starts[len(ix.starts)-1])
+		}
+		totalWeight += basin
+		var sum float64
+		for id := 0; id < n; id++ {
+			sum += ix.distanceToPage(table[id], end)
+		}
+		afterIndex += basin * sum / float64(n)
+	}
+	if totalWeight > 0 {
+		afterIndex /= totalWeight
+	}
+
+	m.AccessTime = waitIndex + float64(ix.cfg.IndexSlots) + afterIndex + 1
+	return m
+}
+
+// distanceToPage returns the slots from stretched column `from` to the next
+// stretched appearance of a page with the given original appearance
+// columns; pages never broadcast cost a full cycle.
+func (ix *Indexed) distanceToPage(cols []int, from int) float64 {
+	if len(cols) == 0 {
+		return float64(ix.length)
+	}
+	best := ix.length
+	for _, c := range cols {
+		d := ix.dataCol[c] - from
+		if d < 0 {
+			d += ix.length
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return float64(best)
+}
+
+// Baseline returns the index-less costs for comparison: a schedule-ignorant
+// client listens continuously, so tuning time equals access time, which is
+// the program's mean wait plus the reception slot.
+func Baseline(prog *core.Program) Metrics {
+	a := core.Analyze(prog)
+	access := a.AvgWait() + 1
+	return Metrics{AccessTime: access, TuningTime: access, CycleStretch: 1}
+}

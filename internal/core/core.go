@@ -1,0 +1,25 @@
+// Package core implements the data model of "Time-Constrained Service on
+// Air" (Chung, Chen, Lee; ICDCS 2005): broadcast pages annotated with
+// expected times, geometric expected-time groups, cyclic multi-channel
+// broadcast programs, the minimum-channel bound of Theorem 3.1, and exact
+// (closed-form) delay analysis of arbitrary programs.
+//
+// # Model
+//
+// A broadcast server pushes n data pages over a set of broadcast channels.
+// Time is divided into unit slots; broadcasting one page takes one slot.
+// Each page carries an expected time t: no matter when a client starts to
+// listen, the page should be received within t slots of the start.
+//
+// Expected times are organised into h groups G_1..G_h with group times
+// t_1 < t_2 < ... < t_h where every t_i divides t_{i+1} (the paper uses the
+// special case t_{i+1} = c*t_i for a constant integer ratio c). Arbitrary
+// per-page expected times are mapped into this shape by Rearrange, which
+// rounds each time down so the original constraint is never relaxed.
+//
+// A broadcast program is a cyclic channels x length grid of page IDs. The
+// program is valid (every client receives every page within its expected
+// time regardless of start instant) exactly when every page of group i
+// appears within the first t_i columns and consecutive appearances —
+// including the cyclic wrap — are at most t_i columns apart.
+package core

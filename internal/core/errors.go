@@ -1,0 +1,28 @@
+package core
+
+import "errors"
+
+var (
+	// ErrInvalidGroupSet reports a malformed group specification: no groups,
+	// non-positive times or counts, non-increasing times, or a group time
+	// that does not divide its successor.
+	ErrInvalidGroupSet = errors.New("core: invalid group set")
+
+	// ErrInsufficientChannels reports that a program cannot be built because
+	// the supplied channel count is below the Theorem 3.1 minimum.
+	ErrInsufficientChannels = errors.New("core: insufficient channels")
+
+	// ErrSlotOccupied reports an attempt to place a page into a slot that
+	// already holds one.
+	ErrSlotOccupied = errors.New("core: slot occupied")
+
+	// ErrInvalidProgram reports a broadcast program that violates the
+	// validity conditions of Section 3.1 of the paper.
+	ErrInvalidProgram = errors.New("core: invalid broadcast program")
+
+	// ErrPageRange reports a page ID outside [0, n).
+	ErrPageRange = errors.New("core: page id out of range")
+
+	// ErrSlotRange reports a channel or slot index outside the program grid.
+	ErrSlotRange = errors.New("core: slot index out of range")
+)

@@ -1,0 +1,30 @@
+package core
+
+// CeilDiv returns ceil(a/b) for positive b. It is exact for all int inputs
+// with a >= 0 and panics-free for the negative-a case (rounds toward +inf).
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+// gcd returns the greatest common divisor of two positive ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm returns the least common multiple of two positive ints.
+func lcm(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / gcd(a, b) * b
+}

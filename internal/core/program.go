@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a cyclic multi-channel broadcast program B: a channels x length
+// grid of page IDs. Row x is broadcast channel x; column y is the set of
+// pages transmitted simultaneously during slot y of the cycle. The program
+// repeats forever with period length.
+//
+// The zero Program is not usable; construct with NewProgram.
+type Program struct {
+	gs       *GroupSet
+	channels int
+	length   int
+	grid     []PageID // row-major: grid[ch*length+slot]
+	filled   int
+}
+
+// NewProgram allocates an empty program of the given dimensions over gs.
+func NewProgram(gs *GroupSet, channels, length int) (*Program, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", ErrInvalidGroupSet)
+	}
+	if channels < 1 {
+		return nil, fmt.Errorf("%w: %d channels", ErrSlotRange, channels)
+	}
+	if length < 1 {
+		return nil, fmt.Errorf("%w: length %d", ErrSlotRange, length)
+	}
+	p := &Program{
+		gs:       gs,
+		channels: channels,
+		length:   length,
+		grid:     make([]PageID, channels*length),
+	}
+	for i := range p.grid {
+		p.grid[i] = None
+	}
+	return p, nil
+}
+
+// GroupSet returns the problem instance the program was built for.
+func (p *Program) GroupSet() *GroupSet { return p.gs }
+
+// Channels returns the number of broadcast channels (grid rows).
+func (p *Program) Channels() int { return p.channels }
+
+// Length returns the broadcast cycle length in slots (grid columns).
+func (p *Program) Length() int { return p.length }
+
+// Filled returns the number of occupied slots.
+func (p *Program) Filled() int { return p.filled }
+
+// Occupancy returns the fraction of occupied slots in [0,1].
+func (p *Program) Occupancy() float64 {
+	return float64(p.filled) / float64(len(p.grid))
+}
+
+// At returns the page broadcast on channel ch during slot y, or None.
+func (p *Program) At(ch, slot int) PageID {
+	return p.grid[ch*p.length+slot]
+}
+
+// InRange reports whether (ch, slot) addresses a grid cell.
+func (p *Program) InRange(ch, slot int) bool {
+	return ch >= 0 && ch < p.channels && slot >= 0 && slot < p.length
+}
+
+// Place assigns page id to (ch, slot). It fails if the cell is occupied, the
+// indexes are out of range, or the page ID is not part of the group set.
+func (p *Program) Place(ch, slot int, id PageID) error {
+	if !p.InRange(ch, slot) {
+		return fmt.Errorf("%w: (%d,%d) in %dx%d program", ErrSlotRange, ch, slot, p.channels, p.length)
+	}
+	if id < 0 || int(id) >= p.gs.Pages() {
+		return fmt.Errorf("%w: %d (n=%d)", ErrPageRange, id, p.gs.Pages())
+	}
+	cell := &p.grid[ch*p.length+slot]
+	if *cell != None {
+		return fmt.Errorf("%w: (%d,%d) holds page %d", ErrSlotOccupied, ch, slot, *cell)
+	}
+	*cell = id
+	p.filled++
+	return nil
+}
+
+// Clear empties cell (ch, slot); clearing an empty cell is a no-op.
+func (p *Program) Clear(ch, slot int) {
+	if !p.InRange(ch, slot) {
+		return
+	}
+	cell := &p.grid[ch*p.length+slot]
+	if *cell != None {
+		*cell = None
+		p.filled--
+	}
+}
+
+// Appearances returns the sorted distinct columns in which page id is
+// broadcast (on any channel).
+func (p *Program) Appearances(id PageID) []int {
+	var cols []int
+	for slot := 0; slot < p.length; slot++ {
+		for ch := 0; ch < p.channels; ch++ {
+			if p.grid[ch*p.length+slot] == id {
+				cols = append(cols, slot)
+				break
+			}
+		}
+	}
+	return cols
+}
+
+// AppearanceTable returns, for every page, its sorted distinct appearance
+// columns. Pages that never appear have a nil slice.
+func (p *Program) AppearanceTable() [][]int {
+	table := make([][]int, p.gs.Pages())
+	for slot := 0; slot < p.length; slot++ {
+		for ch := 0; ch < p.channels; ch++ {
+			id := p.grid[ch*p.length+slot]
+			if id == None {
+				continue
+			}
+			cols := table[id]
+			if len(cols) > 0 && cols[len(cols)-1] == slot {
+				continue // same column on another channel
+			}
+			table[id] = append(cols, slot)
+		}
+	}
+	return table
+}
+
+// Validate checks the Section 3.1 validity conditions for every page:
+//
+//  1. each page of group i appears at least once within columns [0, t_i);
+//  2. the gap between consecutive appearances, including the wrap from the
+//     last appearance of one cycle to the first of the next, is <= t_i.
+//
+// It returns nil for a valid program and an error wrapping
+// ErrInvalidProgram describing the first violation otherwise.
+func (p *Program) Validate() error {
+	table := p.AppearanceTable()
+	for id, cols := range table {
+		t := p.gs.TimeOf(PageID(id))
+		if len(cols) == 0 {
+			return fmt.Errorf("%w: page %d never broadcast", ErrInvalidProgram, id)
+		}
+		if cols[0] >= t {
+			return fmt.Errorf("%w: page %d first broadcast at slot %d >= t=%d",
+				ErrInvalidProgram, id, cols[0], t)
+		}
+		for k := 1; k < len(cols); k++ {
+			if gap := cols[k] - cols[k-1]; gap > t {
+				return fmt.Errorf("%w: page %d gap %d > t=%d between slots %d and %d",
+					ErrInvalidProgram, id, gap, t, cols[k-1], cols[k])
+			}
+		}
+		if wrap := cols[0] + p.length - cols[len(cols)-1]; wrap > t {
+			return fmt.Errorf("%w: page %d cyclic wrap gap %d > t=%d",
+				ErrInvalidProgram, id, wrap, t)
+		}
+	}
+	return nil
+}
+
+// CountOf returns how many cells hold page id (appearances counted per
+// channel, unlike Appearances which deduplicates columns).
+func (p *Program) CountOf(id PageID) int {
+	n := 0
+	for _, v := range p.grid {
+		if v == id {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	q := *p
+	q.grid = append([]PageID(nil), p.grid...)
+	return &q
+}
+
+// String renders the grid with one line per channel; empty cells print "--".
+// Intended for small programs (examples, debugging).
+func (p *Program) String() string {
+	var b strings.Builder
+	width := 2
+	if n := p.gs.Pages(); n > 100 {
+		width = 4
+	}
+	for ch := 0; ch < p.channels; ch++ {
+		fmt.Fprintf(&b, "ch%-2d |", ch)
+		for slot := 0; slot < p.length; slot++ {
+			id := p.At(ch, slot)
+			if id == None {
+				fmt.Fprintf(&b, " %*s", width, strings.Repeat("-", width))
+			} else {
+				fmt.Fprintf(&b, " %*d", width, id)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rearrangement is the result of mapping arbitrary per-page expected times
+// onto the paper's geometric group structure (Section 2). Every new time is
+// <= its original (constraints are tightened, never relaxed) and is the
+// largest value t_1*c^k not exceeding the original, so bandwidth waste is
+// minimal within the chosen (t_1, c).
+type Rearrangement struct {
+	// Set is the resulting validated group set.
+	Set *GroupSet
+	// Ratio is the geometric ratio c used.
+	Ratio int
+	// GroupIndex[i] is the 0-based group of input page i.
+	GroupIndex []int
+	// NewTimes[i] is the rearranged expected time of input page i.
+	NewTimes []int
+	// IDs[i] is the PageID assigned to input page i in Set. Within a group,
+	// IDs preserve input order.
+	IDs []PageID
+	// Waste is the mean relative tightening, avg((orig-new)/orig), a measure
+	// of the bandwidth over-provisioning introduced by the rearrangement.
+	Waste float64
+}
+
+// Rearrange maps arbitrary positive expected times onto geometric groups
+// with base t_1 = min(times) and ratio c: each time t becomes
+// t_1 * c^floor(log_c(t/t_1)). The paper's example (times 2,3,4,6,9 with
+// c=2 becoming 2,2,4,4,8) is reproduced by this function.
+func Rearrange(times []int, c int) (*Rearrangement, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("%w: no expected times", ErrInvalidGroupSet)
+	}
+	if c < 2 {
+		return nil, fmt.Errorf("%w: ratio %d < 2", ErrInvalidGroupSet, c)
+	}
+	t1 := times[0]
+	for _, t := range times {
+		if t < 1 {
+			return nil, fmt.Errorf("%w: expected time %d < 1", ErrInvalidGroupSet, t)
+		}
+		if t < t1 {
+			t1 = t
+		}
+	}
+
+	// Round each time down to the nearest t1*c^k and bucket by k.
+	newTimes := make([]int, len(times))
+	levels := make([]int, len(times))
+	counts := map[int]int{} // level k -> count
+	var waste float64
+	for i, t := range times {
+		k := 0
+		v := t1
+		for v <= t/c && v*c <= t { // advance while t1*c^(k+1) <= t
+			v *= c
+			k++
+		}
+		newTimes[i] = v
+		levels[i] = k
+		counts[k]++
+		waste += float64(t-v) / float64(t)
+	}
+	waste /= float64(len(times))
+
+	// Build groups in ascending level order.
+	levelList := make([]int, 0, len(counts))
+	for k := range counts {
+		levelList = append(levelList, k)
+	}
+	sort.Ints(levelList)
+	groups := make([]Group, len(levelList))
+	levelToGroup := make(map[int]int, len(levelList))
+	for gi, k := range levelList {
+		t := t1
+		for j := 0; j < k; j++ {
+			t *= c
+		}
+		groups[gi] = Group{Time: t, Count: counts[k]}
+		levelToGroup[k] = gi
+	}
+	gs, err := NewGroupSet(groups)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assign IDs: within each group, input order is preserved.
+	next := make([]int, len(groups))
+	groupIdx := make([]int, len(times))
+	ids := make([]PageID, len(times))
+	for i := range times {
+		gi := levelToGroup[levels[i]]
+		groupIdx[i] = gi
+		ids[i] = gs.PageAt(gi, next[gi])
+		next[gi]++
+	}
+	return &Rearrangement{
+		Set:        gs,
+		Ratio:      c,
+		GroupIndex: groupIdx,
+		NewTimes:   newTimes,
+		IDs:        ids,
+		Waste:      waste,
+	}, nil
+}
+
+// RearrangeAuto tries every ratio c in [2, maxRatio] and returns the
+// rearrangement minimising the Theorem 3.1 minimum channel count, breaking
+// ties by smaller Waste and then by smaller c. maxRatio < 2 defaults to 8.
+func RearrangeAuto(times []int, maxRatio int) (*Rearrangement, error) {
+	if maxRatio < 2 {
+		maxRatio = 8
+	}
+	var best *Rearrangement
+	for c := 2; c <= maxRatio; c++ {
+		r, err := Rearrange(times, c)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || better(r, best) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// better reports whether a is a strictly preferable rearrangement to b.
+func better(a, b *Rearrangement) bool {
+	an, bn := a.Set.MinChannels(), b.Set.MinChannels()
+	if an != bn {
+		return an < bn
+	}
+	if a.Waste != b.Waste {
+		return a.Waste < b.Waste
+	}
+	return a.Ratio < b.Ratio
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRearrangePaperExample reproduces the Section 2 example: expected times
+// 2,3,4,6,9 with ratio 2 become 2,2,4,4,8 forming groups t=(2,4,8) with
+// counts (2,2,1).
+func TestRearrangePaperExample(t *testing.T) {
+	r, err := Rearrange([]int{2, 3, 4, 6, 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := []int{2, 2, 4, 4, 8}
+	for i, w := range wantTimes {
+		if r.NewTimes[i] != w {
+			t.Errorf("NewTimes[%d] = %d, want %d", i, r.NewTimes[i], w)
+		}
+	}
+	want := MustGroupSet([]Group{{2, 2}, {4, 2}, {8, 1}})
+	if !r.Set.Equal(want) {
+		t.Errorf("Set = %v, want %v", r.Set, want)
+	}
+	if r.Ratio != 2 {
+		t.Errorf("Ratio = %d, want 2", r.Ratio)
+	}
+}
+
+func TestRearrangeGroupIndexAndIDs(t *testing.T) {
+	r, err := Rearrange([]int{9, 2, 6, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New times: 8,2,4,2,4 -> groups 2,0,1,0,1.
+	wantGroup := []int{2, 0, 1, 0, 1}
+	for i, wg := range wantGroup {
+		if r.GroupIndex[i] != wg {
+			t.Errorf("GroupIndex[%d] = %d, want %d", i, r.GroupIndex[i], wg)
+		}
+	}
+	// IDs must be a permutation of 0..n-1 consistent with groups.
+	seen := map[PageID]bool{}
+	for i, id := range r.IDs {
+		if seen[id] {
+			t.Fatalf("duplicate PageID %d", id)
+		}
+		seen[id] = true
+		if got := r.Set.GroupOf(id); got != r.GroupIndex[i] {
+			t.Errorf("GroupOf(IDs[%d]=%d) = %d, want %d", i, id, got, r.GroupIndex[i])
+		}
+	}
+}
+
+func TestRearrangeErrors(t *testing.T) {
+	if _, err := Rearrange(nil, 2); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Rearrange([]int{1, 2}, 1); err == nil {
+		t.Error("ratio 1 accepted")
+	}
+	if _, err := Rearrange([]int{0, 2}, 2); err == nil {
+		t.Error("non-positive time accepted")
+	}
+}
+
+func TestRearrangeSinglePage(t *testing.T) {
+	r, err := Rearrange([]int{7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Set.Len() != 1 || r.Set.Group(0).Time != 7 {
+		t.Errorf("single-page rearrangement = %v, want {t=7:P=1}", r.Set)
+	}
+	if r.Waste != 0 {
+		t.Errorf("Waste = %f, want 0", r.Waste)
+	}
+}
+
+// Rearrangement invariants, property-checked:
+//  1. new time <= original (never relax a constraint);
+//  2. new time > original/c (closest representable: one more factor of c
+//     would exceed the original);
+//  3. new time = t_min * c^k for some k >= 0;
+//  4. the resulting GroupSet validates.
+func TestRearrangeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		c := 2 + rng.Intn(4)
+		times := make([]int, n)
+		for i := range times {
+			times[i] = 1 + rng.Intn(500)
+		}
+		r, err := Rearrange(times, c)
+		if err != nil {
+			return false
+		}
+		tmin := times[0]
+		for _, v := range times {
+			if v < tmin {
+				tmin = v
+			}
+		}
+		for i, orig := range times {
+			nt := r.NewTimes[i]
+			if nt > orig {
+				return false
+			}
+			if nt*c <= orig {
+				return false // not the closest power
+			}
+			v := nt
+			for v > tmin {
+				if v%c != 0 {
+					return false
+				}
+				v /= c
+			}
+			if v != tmin {
+				return false
+			}
+		}
+		return r.Set.Pages() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRearrangeWaste(t *testing.T) {
+	// times 2 and 3 with c=2: page 2 keeps 2 (waste 0), page 3 -> 2
+	// (waste 1/3); mean = 1/6.
+	r, err := Rearrange([]int{2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.0 / 6.0; absDiff(r.Waste, want) > 1e-12 {
+		t.Errorf("Waste = %f, want %f", r.Waste, want)
+	}
+}
+
+func TestRearrangeAutoPicksLowerChannelCount(t *testing.T) {
+	// Times heavily favouring ratio 3: 5, 15, 45, 135.
+	times := []int{5, 15, 45, 135, 15, 45}
+	r, err := RearrangeAuto(times, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Rearrange(times, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Set.MinChannels() > r2.Set.MinChannels() {
+		t.Errorf("auto rearrangement needs %d channels, worse than c=2's %d",
+			r.Set.MinChannels(), r2.Set.MinChannels())
+	}
+	if r.Ratio != 3 {
+		t.Errorf("Ratio = %d, want 3 (zero waste)", r.Ratio)
+	}
+	if r.Waste != 0 {
+		t.Errorf("Waste = %f, want 0 for exact geometric input", r.Waste)
+	}
+}
+
+func TestRearrangeAutoDefaultMaxRatio(t *testing.T) {
+	if _, err := RearrangeAuto([]int{4, 8, 16}, 0); err != nil {
+		t.Fatalf("default maxRatio failed: %v", err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

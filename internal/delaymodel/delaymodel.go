@@ -1,0 +1,151 @@
+// Package delaymodel implements the analytic average-delay model of
+// "Time-Constrained Service on Air" (ICDCS 2005), Section 4.1–4.3. It is
+// shared by the PAMAD scheduler, the m-PB baseline and the OPT exhaustive
+// search, which all pick broadcast frequencies by evaluating this model.
+//
+// # Model
+//
+// Group G_i holds P_i pages of expected time t_i and is broadcast S_i times
+// per major cycle. With F = sum_i S_i*P_i total page transmissions and
+// N_real channels, the cycle is t_major = ceil(F/N_real) slots and the mean
+// spacing between appearances of a G_i page is gap_i = F/(N_real*S_i).
+//
+// The average group delay (paper Eq. 2, generalised in Eq. 7) is
+//
+//	D' = sum_i (S_i*P_i/F) * d_i
+//	d_i = 0                                               when gap_i <= t_i
+//	d_i = max(0, (gap_i - t_i) * (t_major/S_i - t_i) / 2) otherwise
+//
+// The gap_i <= t_i gate — rather than clamping the product — is what
+// reproduces the paper's Figure 2 walkthrough exactly (D'_2 = 0.12/0 for
+// r_1 = 1/2 and D'_3 = 0.15/0.04 for r_2 = 1/2); see the package tests.
+package delaymodel
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+)
+
+// Frequencies is a per-group broadcast frequency vector S_1..S_h: group i's
+// pages each appear Frequencies[i] times per major broadcast cycle.
+type Frequencies []int
+
+// Validate checks that the vector matches gs and every S_i >= 1 (the
+// paper's lower-bound restriction: every page is broadcast at least once).
+func (s Frequencies) Validate(gs *core.GroupSet) error {
+	if gs == nil {
+		return fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if len(s) != gs.Len() {
+		return fmt.Errorf("%w: %d frequencies for %d groups", core.ErrInvalidGroupSet, len(s), gs.Len())
+	}
+	for i, v := range s {
+		if v < 1 {
+			return fmt.Errorf("%w: S_%d = %d < 1", core.ErrInvalidGroupSet, i+1, v)
+		}
+	}
+	return nil
+}
+
+// TotalSlots returns F = sum_i S_i * P_i, the number of page transmissions
+// per major cycle.
+func (s Frequencies) TotalSlots(gs *core.GroupSet) int {
+	f := 0
+	for i, v := range s {
+		f += v * gs.Group(i).Count
+	}
+	return f
+}
+
+// MajorCycle returns t_major = ceil(F / nReal) (paper Eq. 8).
+func (s Frequencies) MajorCycle(gs *core.GroupSet, nReal int) int {
+	return core.CeilDiv(s.TotalSlots(gs), nReal)
+}
+
+// Clone returns an independent copy.
+func (s Frequencies) Clone() Frequencies { return append(Frequencies(nil), s...) }
+
+// GroupDelay evaluates the paper's average group delay D' for frequency
+// vector s over all h groups of gs with nReal channels. It assumes s has
+// been validated; out-of-contract input yields a meaningless (not unsafe)
+// number, matching the paper's treatment of D' as a pure objective function.
+func GroupDelay(gs *core.GroupSet, s Frequencies, nReal int) float64 {
+	return prefixDelay(gs, s, gs.Len(), nReal)
+}
+
+// StageDelay evaluates the stage-i objective D'_i of the progressive
+// derivation (paper Eq. 3, 5 and 7): the average group delay of scheduling
+// only groups 1..stage (1-based) with per-stage frequencies s[:stage].
+func StageDelay(gs *core.GroupSet, s Frequencies, stage, nReal int) float64 {
+	return prefixDelay(gs, s, stage, nReal)
+}
+
+func prefixDelay(gs *core.GroupSet, s Frequencies, h, nReal int) float64 {
+	if nReal < 1 || h < 1 || h > gs.Len() || len(s) < h {
+		return 0
+	}
+	f := 0
+	for i := 0; i < h; i++ {
+		f += s[i] * gs.Group(i).Count
+	}
+	if f == 0 {
+		return 0
+	}
+	tMajor := float64(core.CeilDiv(f, nReal))
+	total := float64(f)
+	var d float64
+	for i := 0; i < h; i++ {
+		si := float64(s[i])
+		ti := float64(gs.Group(i).Time)
+		gap := total / (float64(nReal) * si)
+		if gap <= ti {
+			continue
+		}
+		term := (gap - ti) * (tMajor/si - ti) / 2
+		if term > 0 {
+			prob := si * float64(gs.Group(i).Count) / total
+			d += prob * term
+		}
+	}
+	return d
+}
+
+// ExactDelay evaluates the Section 4.1 per-page model for evenly spaced
+// appearances: each G_i page repeats with uniform gap g_i = t_major/S_i, so
+// its expected delay is max(g_i - t_i, 0)^2 / (2 g_i), and pages are
+// accessed uniformly (probability 1/n each). This is the "true" expected
+// AvgD of an ideal evenly-spread program with frequencies s, against which
+// both the D' heuristic objective and measured programs can be compared.
+func ExactDelay(gs *core.GroupSet, s Frequencies, nReal int) float64 {
+	if nReal < 1 || len(s) != gs.Len() {
+		return 0
+	}
+	f := s.TotalSlots(gs)
+	if f == 0 {
+		return 0
+	}
+	tMajor := float64(core.CeilDiv(f, nReal))
+	var d float64
+	for i := 0; i < gs.Len(); i++ {
+		gap := tMajor / float64(s[i])
+		ti := float64(gs.Group(i).Time)
+		if gap <= ti {
+			continue
+		}
+		d += float64(gs.Group(i).Count) * (gap - ti) * (gap - ti) / (2 * gap)
+	}
+	return d / float64(gs.Pages())
+}
+
+// SufficientFrequencies returns the frequency vector a sufficient-channel
+// (SUSC) program uses: S_i = t_h / t_i. With nReal >= MinChannels these
+// frequencies give GroupDelay 0.
+func SufficientFrequencies(gs *core.GroupSet) Frequencies {
+	th := gs.MaxTime()
+	s := make(Frequencies, gs.Len())
+	for i := range s {
+		s[i] = th / gs.Group(i).Time
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package delaymodel
+
+import (
+	"math"
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+func fig2() *core.GroupSet {
+	return core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+}
+
+// TestFigure2Step2 reproduces the paper's Step 2 numbers with N_real=3:
+// D'_2 = 0.12 at r_1=1 and D'_2 = 0 at r_1=2.
+func TestFigure2Step2(t *testing.T) {
+	gs := fig2()
+	// Stage 2: S = (r_1, 1, _).
+	d1 := StageDelay(gs, Frequencies{1, 1, 0}, 2, 3)
+	if want := 0.125; math.Abs(d1-want) > 1e-9 {
+		t.Errorf("D'_2(r1=1) = %f, want %f (paper rounds to 0.12)", d1, want)
+	}
+	d2 := StageDelay(gs, Frequencies{2, 1, 0}, 2, 3)
+	if d2 != 0 {
+		t.Errorf("D'_2(r1=2) = %f, want 0", d2)
+	}
+}
+
+// TestFigure2Step3 reproduces the paper's Step 3 numbers:
+// D'_3 = 0.15 at (r_1,r_2)=(2,1) and D'_3 = 0.04 at (2,2).
+func TestFigure2Step3(t *testing.T) {
+	gs := fig2()
+	// r_2=1: S = (2*1, 1, 1) = (2,1,1).
+	d1 := GroupDelay(gs, Frequencies{2, 1, 1}, 3)
+	if want := 0.155; math.Abs(d1-want) > 2e-3 {
+		t.Errorf("D'_3(r2=1) = %f, want ~%f (paper rounds to 0.15)", d1, want)
+	}
+	// r_2=2: S = (2*2, 2, 1) = (4,2,1).
+	d2 := GroupDelay(gs, Frequencies{4, 2, 1}, 3)
+	if want := 1.0 / 24.0; math.Abs(d2-want) > 2e-3 { // 0.0417
+		t.Errorf("D'_3(r2=2) = %f, want ~%f (paper rounds to 0.04)", d2, want)
+	}
+	if d2 >= d1 {
+		t.Errorf("D'_3: r2=2 (%f) not better than r2=1 (%f)", d2, d1)
+	}
+}
+
+// Exact hand-derived values for the Figure 2 walkthrough.
+func TestFigure2ExactValues(t *testing.T) {
+	gs := fig2()
+	tests := []struct {
+		name  string
+		s     Frequencies
+		stage int
+		want  float64
+	}{
+		// Stage 2, r1=1: F=8, t_major=3; G1 term = (3/8)*(8/3-2)*((3-2)/2) = 1/8.
+		{"stage2 r1=1", Frequencies{1, 1, 0}, 2, 1.0 / 8.0},
+		// Stage 2, r1=3: F=14, t_major=5; G1 gap=14/9<2 -> 0; G2 gap=14/3>4:
+		// (5/14)*(14/3-4)*((5-4)/2) = (5/14)*(2/3)*(1/2) = 5/42.
+		{"stage2 r1=3", Frequencies{3, 1, 0}, 2, 5.0 / 42.0},
+		// Stage 3, r2=1: S=(2,1,1), F=14, t_major=5.
+		// G1: (6/14)*(14/6-2)*((5/2-2)/2) = (6/14)*(1/3)*(1/4) = 1/28.
+		// G2: (5/14)*(14/3-4)*((5-4)/2) = 5/42. G3: gap 14/3 < 8 -> 0.
+		{"stage3 r2=1", Frequencies{2, 1, 1}, 3, 1.0/28.0 + 5.0/42.0},
+		// Stage 3, r2=2: S=(4,2,1), F=25, t_major=9.
+		// G1: (12/25)*(25/12-2)*((9/4-2)/2) = (12/25)*(1/12)*(1/8) = 1/200.
+		// G2: (10/25)*(25/6-4)*((9/2-4)/2) = (2/5)*(1/6)*(1/4) = 1/60.
+		// G3: (3/25)*(25/3-8)*((9-8)/2) = (3/25)*(1/3)*(1/2) = 1/50.
+		{"stage3 r2=2", Frequencies{4, 2, 1}, 3, 1.0/200.0 + 1.0/60.0 + 1.0/50.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := StageDelay(gs, tt.s, tt.stage, 3)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("StageDelay = %.12f, want %.12f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	gs := fig2()
+	if err := (Frequencies{4, 2, 1}).Validate(gs); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+	if err := (Frequencies{4, 2}).Validate(gs); err == nil {
+		t.Error("short vector accepted")
+	}
+	if err := (Frequencies{4, 0, 1}).Validate(gs); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if err := (Frequencies{1, 1, 1}).Validate(nil); err == nil {
+		t.Error("nil group set accepted")
+	}
+}
+
+func TestTotalSlotsAndMajorCycle(t *testing.T) {
+	gs := fig2()
+	s := Frequencies{4, 2, 1}
+	if got := s.TotalSlots(gs); got != 25 {
+		t.Errorf("TotalSlots = %d, want 25", got)
+	}
+	if got := s.MajorCycle(gs, 3); got != 9 {
+		t.Errorf("MajorCycle = %d, want ceil(25/3)=9", got)
+	}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 4 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestSufficientFrequenciesGiveZeroDelay(t *testing.T) {
+	gs := fig2()
+	s := SufficientFrequencies(gs)
+	want := Frequencies{4, 2, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("SufficientFrequencies = %v, want %v", s, want)
+		}
+	}
+	n := gs.MinChannels() // 4
+	if d := GroupDelay(gs, s, n); d != 0 {
+		t.Errorf("GroupDelay at sufficient channels = %f, want 0", d)
+	}
+	if d := ExactDelay(gs, s, n); d != 0 {
+		t.Errorf("ExactDelay at sufficient channels = %f, want 0", d)
+	}
+}
+
+func TestGroupDelayMonotoneInChannels(t *testing.T) {
+	gs := fig2()
+	s := Frequencies{4, 2, 1}
+	prev := math.Inf(1)
+	for n := 1; n <= gs.MinChannels(); n++ {
+		d := GroupDelay(gs, s, n)
+		if d > prev+1e-12 {
+			t.Errorf("GroupDelay increased from %f to %f at n=%d", prev, d, n)
+		}
+		prev = d
+	}
+}
+
+func TestExactDelayClosedForm(t *testing.T) {
+	// One group, t=2, P=4, S=1, N=1: F=4, t_major=4, gap=4.
+	// ExactDelay = (4-2)^2/(2*4) = 0.5.
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 4}})
+	got := ExactDelay(gs, Frequencies{1}, 1)
+	if want := 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExactDelay = %f, want %f", got, want)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	gs := fig2()
+	if d := GroupDelay(gs, Frequencies{1, 1, 1}, 0); d != 0 {
+		t.Errorf("GroupDelay with 0 channels = %f, want 0 sentinel", d)
+	}
+	if d := StageDelay(gs, Frequencies{1}, 5, 3); d != 0 {
+		t.Errorf("StageDelay beyond h = %f, want 0 sentinel", d)
+	}
+	if d := StageDelay(gs, Frequencies{1}, 0, 3); d != 0 {
+		t.Errorf("StageDelay stage 0 = %f, want 0 sentinel", d)
+	}
+	if d := ExactDelay(gs, Frequencies{1, 1}, 3); d != 0 {
+		t.Errorf("ExactDelay wrong-length = %f, want 0 sentinel", d)
+	}
+}

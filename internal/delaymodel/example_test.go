@@ -1,0 +1,21 @@
+package delaymodel_test
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+// Evaluating the paper's Eq. 2 objective on the Figure 2 instance with
+// three channels reproduces the walkthrough's D' values.
+func ExampleGroupDelay() {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+	for _, s := range []delaymodel.Frequencies{{2, 1, 1}, {4, 2, 1}} {
+		fmt.Printf("S=%v: D'=%.4f, cycle %d\n",
+			[]int(s), delaymodel.GroupDelay(gs, s, 3), s.MajorCycle(gs, 3))
+	}
+	// Output:
+	// S=[2 1 1]: D'=0.1548, cycle 5
+	// S=[4 2 1]: D'=0.0417, cycle 9
+}

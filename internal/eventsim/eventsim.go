@@ -1,0 +1,148 @@
+// Package eventsim is a small deterministic discrete-event simulation
+// engine: a virtual clock and a time-ordered event queue with FIFO
+// tie-breaking. The broadcast-system and on-demand-channel simulators are
+// built on it.
+//
+// Time is a float64 in broadcast slots, matching the rest of the module.
+// Events scheduled for the same instant run in scheduling order, so a
+// simulation driven by seeded randomness is reproducible bit-for-bit.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrPastEvent reports an attempt to schedule an event before the current
+// simulation time.
+var ErrPastEvent = errors.New("eventsim: event scheduled in the past")
+
+// Simulator owns the virtual clock and the pending-event queue. The zero
+// value is a ready simulator at time 0.
+type Simulator struct {
+	now   float64
+	seq   uint64
+	queue eventQueue
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// Now returns the current simulation time in slots.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t (>= Now).
+func (s *Simulator) At(t float64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("%w: %f < now %f", ErrPastEvent, t, s.now)
+	}
+	if fn == nil {
+		return errors.New("eventsim: nil event function")
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d slots from now (d >= 0).
+func (s *Simulator) After(d float64, fn func()) error {
+	return s.At(s.now+d, fn)
+}
+
+// Periodic schedules fn at start and then every interval slots for as long
+// as fn returns true. fn receives the firing time.
+func (s *Simulator) Periodic(start, interval float64, fn func(t float64) bool) error {
+	if interval <= 0 {
+		return fmt.Errorf("eventsim: non-positive interval %f", interval)
+	}
+	if fn == nil {
+		return errors.New("eventsim: nil event function")
+	}
+	var tick func()
+	tick = func() {
+		if fn(s.now) {
+			// Scheduling from inside an event cannot fail: now+interval is
+			// in the future.
+			_ = s.After(interval, tick)
+		}
+	}
+	return s.At(start, tick)
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// time. It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning how many ran.
+func (s *Simulator) Run() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock
+// to exactly deadline. It returns how many events ran.
+func (s *Simulator) RunUntil(deadline float64) int {
+	n := 0
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+		n++
+	}
+	if deadline > s.now {
+		s.now = deadline
+	}
+	return n
+}
+
+// RunLimit executes at most limit events; it returns the number executed
+// (less than limit only if the queue drained first). A guard against
+// accidental infinite self-scheduling loops.
+func (s *Simulator) RunLimit(limit int) int {
+	n := 0
+	for n < limit && s.Step() {
+		n++
+	}
+	return n
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

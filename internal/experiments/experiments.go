@@ -1,0 +1,216 @@
+// Package experiments is the reproduction harness for the evaluation
+// section of "Time-Constrained Service on Air" (ICDCS 2005). Every figure
+// and table of the paper maps to one function here (see DESIGN.md's
+// per-experiment index); cmd/airbench and the repository benchmarks are
+// thin wrappers over this package.
+//
+//	Figure3  -> the four group-size distributions (workload shapes)
+//	Figure4  -> the default parameter table (DefaultParams)
+//	Figure5  -> AvgD vs channel count for PAMAD / m-PB / OPT, per shape
+//	Knee     -> the "1/5 of the minimum channels is enough" observation
+//	AblateTieBreak / ModelCheck -> design-choice ablations from DESIGN.md
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/mpb"
+	"tcsa/internal/opt"
+	"tcsa/internal/pamad"
+	"tcsa/internal/sim"
+	"tcsa/internal/workload"
+)
+
+// Params mirrors the paper's Figure 4 parameter table, plus reproduction
+// knobs the paper leaves implicit.
+type Params struct {
+	Pages    int   // n - total number of data pages (paper: 1000)
+	Groups   int   // h - number of expected-time groups (paper: 8)
+	BaseTime int   // t_1 (paper: 4)
+	Ratio    int   // c, so t_i = 4,8,...,512 (paper: 2)
+	Requests int   // requests per measured point (paper: 3000)
+	Seed     int64 // master seed; everything downstream derives from it
+
+	// ChannelStride samples every k-th channel count in sweeps; 1 = every
+	// count (the paper's plots). Benchmarks use larger strides.
+	ChannelStride int
+	// OptMaxFactor caps OPT's per-position repetition factors (0 = auto).
+	OptMaxFactor int
+	// SkipOPT drops the OPT series (it dominates sweep cost on wide
+	// instances).
+	SkipOPT bool
+}
+
+// DefaultParams returns the paper's Figure 4 settings.
+func DefaultParams() Params {
+	return Params{
+		Pages:         1000,
+		Groups:        8,
+		BaseTime:      4,
+		Ratio:         2,
+		Requests:      3000,
+		Seed:          1,
+		ChannelStride: 1,
+	}
+}
+
+// Instance materialises the group set for one distribution under p.
+func (p Params) Instance(dist workload.Distribution) (*core.GroupSet, error) {
+	return workload.GroupSet(dist, p.Groups, p.Pages, p.BaseTime, p.Ratio)
+}
+
+// validate normalises and sanity-checks p.
+func (p *Params) validate() error {
+	if p.Pages < p.Groups || p.Groups < 1 {
+		return fmt.Errorf("experiments: %d pages over %d groups", p.Pages, p.Groups)
+	}
+	if p.Requests < 1 {
+		return fmt.Errorf("experiments: %d requests", p.Requests)
+	}
+	if p.ChannelStride < 1 {
+		p.ChannelStride = 1
+	}
+	return nil
+}
+
+// Fig5Point is one x-position of a Figure 5 subplot: the measured and
+// closed-form average delay of the three algorithms at one channel count.
+type Fig5Point struct {
+	Channels int
+	// Measured AvgD over p.Requests random requests (the paper's metric).
+	PAMAD, MPB, OPT float64
+	// Exact closed-form AvgD of the same programs (infinite requests).
+	PAMADExact, MPBExact, OPTExact float64
+}
+
+// Fig5Series is one subplot of Figure 5.
+type Fig5Series struct {
+	Dist        workload.Distribution
+	Set         *core.GroupSet
+	MinChannels int
+	Points      []Fig5Point
+}
+
+// Figure5 reproduces one subplot of the paper's Figure 5: AvgD of PAMAD,
+// m-PB and OPT as the channel count sweeps from 1 to the Theorem 3.1
+// minimum for the given group-size distribution.
+func Figure5(ctx context.Context, p Params, dist workload.Distribution) (*Fig5Series, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	gs, err := p.Instance(dist)
+	if err != nil {
+		return nil, err
+	}
+	series := &Fig5Series{Dist: dist, Set: gs, MinChannels: gs.MinChannels()}
+	for n := 1; n <= series.MinChannels; n += p.ChannelStride {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pt, err := figure5Point(ctx, p, gs, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v at %d channels: %w", dist, n, err)
+		}
+		series.Points = append(series.Points, *pt)
+	}
+	// Always include the right endpoint (the sufficient-channel count).
+	if last := series.Points[len(series.Points)-1]; last.Channels != series.MinChannels {
+		pt, err := figure5Point(ctx, p, gs, series.MinChannels)
+		if err != nil {
+			return nil, err
+		}
+		series.Points = append(series.Points, *pt)
+	}
+	return series, nil
+}
+
+func figure5Point(ctx context.Context, p Params, gs *core.GroupSet, n int) (*Fig5Point, error) {
+	pt := &Fig5Point{Channels: n}
+
+	pamadProg, _, err := pamad.Build(gs, n)
+	if err != nil {
+		return nil, fmt.Errorf("pamad: %w", err)
+	}
+	pt.PAMAD, pt.PAMADExact, err = measure(p, pamadProg, n, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	mpbProg, _, err := mpb.Build(gs, n)
+	if err != nil {
+		return nil, fmt.Errorf("mpb: %w", err)
+	}
+	pt.MPB, pt.MPBExact, err = measure(p, mpbProg, n, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.SkipOPT {
+		return pt, nil
+	}
+	optProg, _, err := opt.Build(ctx, gs, n, opt.Options{MaxFactor: p.OptMaxFactor})
+	if err != nil {
+		return nil, fmt.Errorf("opt: %w", err)
+	}
+	pt.OPT, pt.OPTExact, err = measure(p, optProg, n, 2)
+	if err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// measure returns (Monte-Carlo AvgD over p.Requests, closed-form AvgD) for
+// one program. The request seed is derived from (master seed, channel
+// count, algorithm) so every point is reproducible in isolation.
+func measure(p Params, prog *core.Program, n, alg int) (measured, exact float64, err error) {
+	reqs, err := workload.GenerateRequests(prog.GroupSet(), prog.Length(), workload.RequestConfig{
+		Count: p.Requests,
+		Seed:  p.Seed*1_000_003 + int64(n)*31 + int64(alg),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	a := core.Analyze(prog)
+	m, err := sim.MeasureAnalyzed(a, reqs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.AvgDelay, a.AvgDelay(), nil
+}
+
+// Figure5All runs all four subplots in the paper's order.
+func Figure5All(ctx context.Context, p Params) ([]*Fig5Series, error) {
+	var out []*Fig5Series
+	for _, dist := range workload.Distributions() {
+		s, err := Figure5(ctx, p, dist)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig3Row is one distribution's group sizes.
+type Fig3Row struct {
+	Dist   workload.Distribution
+	Counts []int
+}
+
+// Figure3 reproduces the group-size distribution shapes of Figure 3.
+func Figure3(p Params) ([]Fig3Row, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	var rows []Fig3Row
+	for _, dist := range workload.Distributions() {
+		counts, err := workload.GroupCounts(dist, p.Groups, p.Pages)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{Dist: dist, Counts: counts})
+	}
+	return rows, nil
+}

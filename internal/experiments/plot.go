@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders a Figure 5 series as an ASCII chart, log10 AvgD on the
+// vertical axis against channel count — the shape the paper's plots show.
+// Marks: 'p' = PAMAD, 'm' = m-PB, 'o' = OPT, '*' = overlapping points.
+func (s *Fig5Series) Plot(width, height int) string {
+	if width < 20 {
+		width = 64
+	}
+	if height < 5 {
+		height = 16
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+
+	// Log scale over [floor, peak]; zero/negative clamp to the floor row.
+	const floor = 0.01
+	peak := floor
+	for _, pt := range s.Points {
+		for _, v := range []float64{pt.PAMAD, pt.MPB, pt.OPT} {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	logFloor, logPeak := math.Log10(floor), math.Log10(peak)
+	if logPeak <= logFloor {
+		logPeak = logFloor + 1
+	}
+	row := func(v float64) int {
+		if v < floor {
+			v = floor
+		}
+		frac := (math.Log10(v) - logFloor) / (logPeak - logFloor)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return r
+	}
+	maxCh := s.Points[len(s.Points)-1].Channels
+	col := func(ch int) int {
+		c := int(math.Round(float64(width-1) * float64(ch-1) / math.Max(1, float64(maxCh-1))))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	mark := func(r, c int, m byte) {
+		if grid[r][c] != ' ' && grid[r][c] != m {
+			grid[r][c] = '*'
+			return
+		}
+		grid[r][c] = m
+	}
+	for _, pt := range s.Points {
+		c := col(pt.Channels)
+		mark(row(pt.MPB), c, 'm')
+		mark(row(pt.OPT), c, 'o')
+		mark(row(pt.PAMAD), c, 'p')
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "AvgD (log) vs channels — %v (p=PAMAD m=m-PB o=OPT *=overlap)\n", s.Dist)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", peak)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", floor)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        1%sN_min=%d\n", strings.Repeat(" ", width-2-len(fmt.Sprint(maxCh))), maxCh)
+	return b.String()
+}

@@ -1,0 +1,144 @@
+// Package hybrid couples the two halves of the paper's system model: the
+// push side (a broadcast program on the air) and the pull side (the
+// on-demand uplink server), under the Section 1 impatience dynamic —
+// "when the waiting time is longer than the expected time of a client, the
+// client could switch the access from a broadcast channel to an on-demand
+// channel ... Too often and too many such actions could seriously congest
+// the on-demand channels."
+//
+// Run drives a request population through the broadcast simulator; clients
+// whose wait exceeds their patience defect and are replayed, at their
+// defection instants, against a queueing model of the pull server. The
+// Report quantifies both sides plus the end-to-end picture, making the
+// paper's motivating trade-off directly measurable for any scheduler.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+
+	"tcsa/internal/airwave"
+	"tcsa/internal/core"
+	"tcsa/internal/eventsim"
+	"tcsa/internal/ondemand"
+	"tcsa/internal/sim"
+	"tcsa/internal/stats"
+	"tcsa/internal/workload"
+)
+
+// Config parameterises the coupled system.
+type Config struct {
+	// AbandonAfter is the impatience threshold as a multiple of each
+	// page's expected time; must be > 0 (a hybrid system without defection
+	// is just the broadcast simulator).
+	AbandonAfter float64
+	// Pull configures the on-demand server (service time, workers,
+	// discipline, queue bound).
+	Pull ondemand.Config
+	// Mode selects the broadcast client strategy; default ScheduleAware.
+	Mode sim.ClientMode
+	// Drop optionally injects broadcast frame loss.
+	Drop airwave.DropFunc
+	// DeadlineSlack extends the pull deadline: a defector's response is
+	// counted as a deadline miss if it completes after
+	// arrival + DeadlineSlack * expected time. 0 defaults to 3.
+	DeadlineSlack float64
+}
+
+// Report is the outcome of one hybrid run.
+type Report struct {
+	// Air is the broadcast side: served/abandoned counts and wait/delay
+	// statistics for the clients the air satisfied.
+	Air sim.Outcome
+	// Pull is the on-demand side: queueing statistics for the defectors.
+	Pull ondemand.Metrics
+	// PullShare is the fraction of all requests that defected.
+	PullShare float64
+	// EndToEnd summarises total latency (arrival to data) across both
+	// paths: broadcast waits for the served, wait-until-defection plus
+	// pull response for the defectors.
+	EndToEnd stats.Summary
+}
+
+// Run executes the coupled simulation.
+func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Report, error) {
+	if prog == nil {
+		return nil, errors.New("hybrid: nil program")
+	}
+	if cfg.AbandonAfter <= 0 {
+		return nil, fmt.Errorf("hybrid: abandon threshold %f (must be > 0)", cfg.AbandonAfter)
+	}
+	if cfg.DeadlineSlack == 0 {
+		cfg.DeadlineSlack = 3
+	}
+	if cfg.DeadlineSlack < cfg.AbandonAfter {
+		return nil, fmt.Errorf("hybrid: deadline slack %f below abandon threshold %f",
+			cfg.DeadlineSlack, cfg.AbandonAfter)
+	}
+	gs := prog.GroupSet()
+
+	type defection struct {
+		req workload.Request
+		at  float64
+	}
+	var defections []defection
+	air, err := sim.Run(prog, reqs, sim.Config{
+		Mode:         cfg.Mode,
+		AbandonAfter: cfg.AbandonAfter,
+		Drop:         cfg.Drop,
+		OnAbandon: func(r workload.Request, at float64) {
+			defections = append(defections, defection{req: r, at: at})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &Report{Air: *air}
+	if len(reqs) > 0 {
+		report.PullShare = float64(len(defections)) / float64(len(reqs))
+	}
+
+	// End-to-end latencies. Served clients: their broadcast wait, taken
+	// from the closed-form appearance structure the event simulator is
+	// verified (in the sim package tests) to match exactly. Defectors:
+	// wait-until-defection plus their individual pull response, correlated
+	// through the server's completion hook.
+	endToEnd := make([]float64, 0, len(reqs))
+	a := core.Analyze(prog)
+	for _, r := range reqs {
+		wait := a.NextAfter(r.Page, r.Arrival)
+		if wait <= cfg.AbandonAfter*float64(gs.TimeOf(r.Page)) {
+			endToEnd = append(endToEnd, wait)
+		}
+	}
+
+	if len(defections) > 0 {
+		var clock eventsim.Simulator
+		pullCfg := cfg.Pull
+		pullCfg.OnComplete = func(req ondemand.Request, submitted, completed float64) {
+			d := defections[req.Tag]
+			endToEnd = append(endToEnd, (d.at-d.req.Arrival)+(completed-submitted))
+		}
+		srv, err := ondemand.New(&clock, pullCfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range defections {
+			i, d := i, d
+			if err := clock.At(d.at, func() {
+				srv.Submit(ondemand.Request{
+					Page:     d.req.Page,
+					Deadline: d.req.Arrival + cfg.DeadlineSlack*float64(gs.TimeOf(d.req.Page)),
+					Tag:      uint64(i),
+				})
+			}); err != nil {
+				return nil, err
+			}
+		}
+		clock.Run()
+		report.Pull = srv.Metrics()
+	}
+	report.EndToEnd = stats.Summarize(endToEnd)
+	return report, nil
+}

@@ -1,0 +1,118 @@
+package mpb
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/pamad"
+)
+
+func fig2() *core.GroupSet {
+	return core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+}
+
+func TestFrequenciesAreDeadlineProportional(t *testing.T) {
+	s := Frequencies(fig2())
+	want := []int{4, 2, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("S = %v, want %v", s, want)
+		}
+	}
+}
+
+func TestBuildFigure2Insufficient(t *testing.T) {
+	gs := fig2()
+	prog, res, err := Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F = 4*3 + 2*5 + 1*3 = 25, t_major = ceil(25/3) = 9.
+	if prog.Length() != 9 {
+		t.Errorf("t_major = %d, want 9", prog.Length())
+	}
+	if prog.Filled() != 25 {
+		t.Errorf("filled = %d, want 25", prog.Filled())
+	}
+	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
+		if got, want := prog.CountOf(id), res.Frequencies[gs.GroupOf(id)]; got != want {
+			t.Errorf("page %d broadcast %d times, want %d", id, got, want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := Build(nil, 1); err == nil {
+		t.Error("nil group set accepted")
+	}
+	if _, _, err := Build(fig2(), 0); err == nil {
+		t.Error("0 channels accepted")
+	}
+}
+
+// TestBuildSufficientChannelsIsValid: at N >= MinChannels, m-PB's
+// frequencies are the SUSC frequencies and the program meets every
+// expected time.
+func TestBuildSufficientChannelsIsValid(t *testing.T) {
+	gs := fig2()
+	prog, _, err := Build(gs, gs.MinChannels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.Analyze(prog).AvgDelay(); d != 0 {
+		t.Errorf("AvgDelay at sufficient channels = %f, want 0", d)
+	}
+}
+
+// TestPAMADBeatsMPB reproduces the paper's headline comparison on random
+// insufficient-channel instances: PAMAD's measured average delay is at most
+// m-PB's (allowing discretisation noise on near-ties).
+func TestPAMADBeatsMPB(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var pamadWins, ties, mpbWins int
+	for trial := 0; trial < 120; trial++ {
+		gs := randomGroupSet(rng)
+		min := gs.MinChannels()
+		if min < 2 {
+			continue
+		}
+		nReal := 1 + rng.Intn(min-1)
+		pProg, _, err := pamad.Build(gs, nReal)
+		if err != nil {
+			t.Fatalf("pamad %v N=%d: %v", gs, nReal, err)
+		}
+		mProg, _, err := Build(gs, nReal)
+		if err != nil {
+			t.Fatalf("mpb %v N=%d: %v", gs, nReal, err)
+		}
+		pd := core.Analyze(pProg).AvgDelay()
+		md := core.Analyze(mProg).AvgDelay()
+		switch {
+		case pd < md-1e-9:
+			pamadWins++
+		case md < pd-1e-9:
+			mpbWins++
+			if pd > md*1.25+1.0 {
+				t.Errorf("instance %v N=%d: PAMAD %.3f much worse than m-PB %.3f", gs, nReal, pd, md)
+			}
+		default:
+			ties++
+		}
+	}
+	if pamadWins <= mpbWins {
+		t.Errorf("PAMAD won %d, m-PB won %d, ties %d — paper's ordering not reproduced",
+			pamadWins, mpbWins, ties)
+	}
+}
+
+func randomGroupSet(rng *rand.Rand) *core.GroupSet {
+	h := 2 + rng.Intn(4)
+	groups := make([]core.Group, h)
+	tt := 2 + rng.Intn(4)
+	for i := 0; i < h; i++ {
+		groups[i] = core.Group{Time: tt, Count: 1 + rng.Intn(30)}
+		tt *= 2
+	}
+	return core.MustGroupSet(groups)
+}

@@ -1,0 +1,208 @@
+// Package multiitem plans the retrieval of a *set* of pages from a
+// broadcast program with a single tuner — the generalisation the paper's
+// model excludes ("every access of a client is only one data page") and
+// that the same authors study in "Benefit-oriented data retrieval in data
+// broadcast environments" (DASFAA '04, the paper's reference [5]).
+//
+// A single-tuner client can capture at most one page per slot; when two
+// wanted pages share a column on different channels, any order loses a
+// full cycle on one of them, so retrieval order matters. Two planners are
+// provided:
+//
+//   - Greedy: repeatedly grab the wanted page with the earliest next
+//     appearance. Fast, usually right, provably not always (see the
+//     package tests for a two-page counterexample).
+//   - Optimal: exact bitmask dynamic programming over (subset, last page),
+//     exponential in the query size (bounded by MaxOptimalQuery).
+//
+// Both return the full retrieval plan: order, per-page completion instants
+// and total span from tune-in.
+package multiitem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tcsa/internal/core"
+)
+
+// MaxOptimalQuery bounds Optimal's query size (the DP holds
+// 2^q * q float64 states).
+const MaxOptimalQuery = 16
+
+// Plan is a retrieval schedule for one query.
+type Plan struct {
+	// Order lists the pages in retrieval order.
+	Order []core.PageID
+	// Times[i] is the completion instant of Order[i], measured from the
+	// start of the cycle the client tuned in during (monotone increasing,
+	// may exceed one cycle length).
+	Times []float64
+	// Total is the span from the arrival instant to the last completion.
+	Total float64
+}
+
+// Greedy plans the query by always fetching the wanted page whose next
+// appearance comes first; ties break toward the smaller page ID.
+func Greedy(a *core.Analysis, query []core.PageID, arrival float64) (*Plan, error) {
+	if err := validate(a, query, arrival); err != nil {
+		return nil, err
+	}
+	remaining := append([]core.PageID(nil), query...)
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+
+	plan := &Plan{}
+	now := arrival
+	first := true
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestAt := math.Inf(1)
+		for i, p := range remaining {
+			at := nextReception(a, p, now, first)
+			if at < bestAt {
+				bestAt = at
+				bestIdx = i
+			}
+		}
+		p := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		plan.Order = append(plan.Order, p)
+		plan.Times = append(plan.Times, bestAt)
+		now = bestAt
+		first = false
+	}
+	plan.Total = now - arrival
+	return plan, nil
+}
+
+// Optimal plans the query exactly by dynamic programming over
+// (received-subset, last-received) states.
+func Optimal(a *core.Analysis, query []core.PageID, arrival float64) (*Plan, error) {
+	if err := validate(a, query, arrival); err != nil {
+		return nil, err
+	}
+	q := len(query)
+	if q > MaxOptimalQuery {
+		return nil, fmt.Errorf("multiitem: query of %d pages exceeds the optimal-planner bound %d", q, MaxOptimalQuery)
+	}
+	size := 1 << q
+	const unset = -1.0
+	// f[mask*q+j]: earliest completion of subset mask with query[j] last.
+	f := make([]float64, size*q)
+	parent := make([]int8, size*q)
+	for i := range f {
+		f[i] = unset
+	}
+	for j := 0; j < q; j++ {
+		f[(1<<j)*q+j] = nextReception(a, query[j], arrival, true)
+		parent[(1<<j)*q+j] = -1
+	}
+	for mask := 1; mask < size; mask++ {
+		for j := 0; j < q; j++ {
+			cur := f[mask*q+j]
+			if mask&(1<<j) == 0 || cur == unset {
+				continue
+			}
+			for k := 0; k < q; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				next := mask | 1<<k
+				at := nextReception(a, query[k], cur, false)
+				if f[next*q+k] == unset || at < f[next*q+k] {
+					f[next*q+k] = at
+					parent[next*q+k] = int8(j)
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestJ, bestAt := -1, math.Inf(1)
+	for j := 0; j < q; j++ {
+		if v := f[full*q+j]; v != unset && v < bestAt {
+			bestAt = v
+			bestJ = j
+		}
+	}
+	if bestJ < 0 {
+		return nil, fmt.Errorf("multiitem: no feasible plan (page never broadcast?)")
+	}
+
+	// Reconstruct the order.
+	plan := &Plan{
+		Order: make([]core.PageID, q),
+		Times: make([]float64, q),
+		Total: bestAt - arrival,
+	}
+	mask, j := full, bestJ
+	for i := q - 1; i >= 0; i-- {
+		plan.Order[i] = query[j]
+		plan.Times[i] = f[mask*q+j]
+		prev := parent[mask*q+j]
+		mask &^= 1 << j
+		j = int(prev)
+	}
+	return plan, nil
+}
+
+// nextReception returns the absolute completion instant of the next
+// appearance of page p at or after instant t. The first reception may
+// happen at the tune-in column; later ones must be at a strictly later
+// column (one page per slot).
+func nextReception(a *core.Analysis, p core.PageID, t float64, first bool) float64 {
+	L := float64(a.Program().Length())
+	from := t
+	if !first {
+		// Completions land on integer columns; the next capture needs a
+		// strictly later column.
+		from = t + 0.5
+	}
+	u := math.Mod(from, L)
+	return from + a.NextAfter(p, u)
+}
+
+func validate(a *core.Analysis, query []core.PageID, arrival float64) error {
+	if a == nil {
+		return fmt.Errorf("multiitem: nil analysis")
+	}
+	if len(query) == 0 {
+		return fmt.Errorf("multiitem: empty query")
+	}
+	if arrival < 0 {
+		return fmt.Errorf("multiitem: negative arrival %f", arrival)
+	}
+	n := a.Program().GroupSet().Pages()
+	seen := map[core.PageID]bool{}
+	for _, p := range query {
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("%w: %d", core.ErrPageRange, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("multiitem: duplicate page %d in query", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// AverageTotal Monte-Carlo-averages a planner's total retrieval span over
+// uniformly random arrivals (deterministic grid sampling: samples evenly
+// spaced arrival instants, so results are reproducible without a seed).
+func AverageTotal(a *core.Analysis, query []core.PageID,
+	planner func(*core.Analysis, []core.PageID, float64) (*Plan, error), samples int) (float64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("multiitem: %d samples", samples)
+	}
+	L := float64(a.Program().Length())
+	var sum float64
+	for s := 0; s < samples; s++ {
+		arrival := (float64(s) + 0.25) / float64(samples) * L
+		plan, err := planner(a, query, arrival)
+		if err != nil {
+			return 0, err
+		}
+		sum += plan.Total
+	}
+	return sum / float64(samples), nil
+}

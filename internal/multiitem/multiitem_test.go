@@ -1,0 +1,229 @@
+package multiitem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/pamad"
+	"tcsa/internal/susc"
+	"tcsa/internal/workload"
+)
+
+// buildAnalysis places pages at explicit (channel, column) cells.
+func buildAnalysis(t *testing.T, gs *core.GroupSet, channels, length int, cells [][3]int) *core.Analysis {
+	t.Helper()
+	p, err := core.NewProgram(gs, channels, length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if err := p.Place(c[0], c[1], core.PageID(c[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return core.Analyze(p)
+}
+
+func TestValidate(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}})
+	a := buildAnalysis(t, gs, 1, 4, [][3]int{{0, 0, 0}, {0, 1, 1}})
+	if _, err := Greedy(nil, []core.PageID{0}, 0); err == nil {
+		t.Error("nil analysis accepted")
+	}
+	if _, err := Greedy(a, nil, 0); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := Greedy(a, []core.PageID{0}, -1); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, err := Greedy(a, []core.PageID{9}, 0); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if _, err := Greedy(a, []core.PageID{0, 0}, 0); err == nil {
+		t.Error("duplicate page accepted")
+	}
+	if _, err := Optimal(a, make([]core.PageID, MaxOptimalQuery+1), 0); err == nil {
+		t.Error("oversized optimal query accepted")
+	}
+}
+
+func TestSinglePageMatchesNextAfter(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 4, Count: 1}})
+	a := buildAnalysis(t, gs, 1, 8, [][3]int{{0, 3, 0}})
+	for _, arrival := range []float64{0, 1.5, 3, 3.5, 7.9} {
+		want := a.NextAfter(0, arrival)
+		g, err := Greedy(a, []core.PageID{0}, arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := Optimal(a, []core.PageID{0}, arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(g.Total-want) > 1e-9 || math.Abs(o.Total-want) > 1e-9 {
+			t.Errorf("arrival %f: greedy %f optimal %f, want %f", arrival, g.Total, o.Total, want)
+		}
+	}
+}
+
+// TestGreedyTrap is the counterexample that motivates the DP: pages 0 and
+// 1 collide at column 1 (different channels), page 0 also appears at
+// column 2. Greedy's tie-break grabs page 0 at column 1 and pays a full
+// cycle for page 1; the optimal order takes page 1 first and finishes at
+// column 2.
+func TestGreedyTrap(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 16, Count: 2}})
+	a := buildAnalysis(t, gs, 2, 10, [][3]int{
+		{0, 1, 0}, {0, 2, 0}, // page 0 at columns 1 and 2
+		{1, 1, 1}, // page 1 only at column 1
+	})
+	g, err := Greedy(a, []core.PageID{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Optimal(a, []core.PageID{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Total != 2 {
+		t.Errorf("optimal total = %f, want 2 (page1@1, page0@2)", o.Total)
+	}
+	if g.Total != 11 {
+		t.Errorf("greedy total = %f, want 11 (page0@1, page1@11)", g.Total)
+	}
+	if o.Order[0] != 1 || o.Order[1] != 0 {
+		t.Errorf("optimal order = %v, want [1 0]", o.Order)
+	}
+}
+
+// TestOptimalNeverWorseThanGreedy on random PAMAD programs and queries.
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	gs, err := workload.GroupSet(workload.Uniform, 4, 60, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := pamad.Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Analyze(prog)
+	for trial := 0; trial < 150; trial++ {
+		q := 1 + rng.Intn(6)
+		query := randomQuery(rng, gs.Pages(), q)
+		arrival := rng.Float64() * float64(prog.Length())
+		g, err := Greedy(a, query, arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := Optimal(a, query, arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Total > g.Total+1e-9 {
+			t.Fatalf("trial %d: optimal %f worse than greedy %f (query %v arrival %f)",
+				trial, o.Total, g.Total, query, arrival)
+		}
+		checkPlan(t, a, query, arrival, g)
+		checkPlan(t, a, query, arrival, o)
+	}
+}
+
+// checkPlan verifies structural invariants: a permutation of the query,
+// strictly increasing times, each reception at a real appearance column.
+func checkPlan(t *testing.T, a *core.Analysis, query []core.PageID, arrival float64, p *Plan) {
+	t.Helper()
+	if len(p.Order) != len(query) || len(p.Times) != len(query) {
+		t.Fatalf("plan sizes: %d/%d for query %d", len(p.Order), len(p.Times), len(query))
+	}
+	seen := map[core.PageID]bool{}
+	for _, pg := range p.Order {
+		seen[pg] = true
+	}
+	if len(seen) != len(query) {
+		t.Fatalf("plan order %v is not a permutation of %v", p.Order, query)
+	}
+	L := a.Program().Length()
+	prev := arrival - 1
+	for i, at := range p.Times {
+		if at < arrival {
+			t.Fatalf("reception %d at %f before arrival %f", i, at, arrival)
+		}
+		if at <= prev {
+			t.Fatalf("times not increasing: %v", p.Times)
+		}
+		prev = at
+		// Completion instants are integer columns holding the page.
+		col := int(at+0.5) % L
+		found := false
+		for ch := 0; ch < a.Program().Channels(); ch++ {
+			if a.Program().At(ch, col) == p.Order[i] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("page %d 'received' at column %d where it is not broadcast", p.Order[i], col)
+		}
+	}
+	if math.Abs(p.Total-(p.Times[len(p.Times)-1]-arrival)) > 1e-9 {
+		t.Fatalf("Total %f inconsistent with last time %f", p.Total, p.Times[len(p.Times)-1])
+	}
+}
+
+// TestOneDistinctColumnPerSlot: two receptions can never share a column.
+func TestOneDistinctColumnPerSlot(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 8, Count: 3}})
+	// All three pages share column 2 on three channels.
+	a := buildAnalysis(t, gs, 3, 8, [][3]int{{0, 2, 0}, {1, 2, 1}, {2, 2, 2}})
+	o, err := Optimal(a, []core.PageID{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One per cycle: completions at 2, 10, 18.
+	want := []float64{2, 10, 18}
+	for i, w := range want {
+		if math.Abs(o.Times[i]-w) > 1e-9 {
+			t.Errorf("Times = %v, want %v", o.Times, want)
+			break
+		}
+	}
+}
+
+func TestAverageTotal(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 4, Count: 2}})
+	prog, err := susc.BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Analyze(prog)
+	query := []core.PageID{0, 1}
+	gAvg, err := AverageTotal(a, query, Greedy, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oAvg, err := AverageTotal(a, query, Optimal, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oAvg > gAvg+1e-9 {
+		t.Errorf("average optimal %f worse than greedy %f", oAvg, gAvg)
+	}
+	if gAvg <= 0 {
+		t.Errorf("average total %f", gAvg)
+	}
+	if _, err := AverageTotal(a, query, Greedy, 0); err == nil {
+		t.Error("0 samples accepted")
+	}
+}
+
+func randomQuery(rng *rand.Rand, n, q int) []core.PageID {
+	perm := rng.Perm(n)
+	query := make([]core.PageID, q)
+	for i := 0; i < q; i++ {
+		query[i] = core.PageID(perm[i])
+	}
+	return query
+}

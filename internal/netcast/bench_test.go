@@ -1,0 +1,19 @@
+package netcast
+
+import (
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// BenchmarkFrameCodec measures the UDP frame encode+decode round trip.
+func BenchmarkFrameCodec(b *testing.B) {
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = appendFrame(buf[:0], Frame{Channel: i % 64, Slot: uint32(i), Page: core.PageID(i % 1000)})
+		if _, err := parseFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

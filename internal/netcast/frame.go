@@ -1,0 +1,79 @@
+// Package netcast carries a broadcast program over real UDP sockets: the
+// wireless "air" of the paper mapped onto the network stack. The server
+// owns one UDP socket per broadcast channel and pushes one frame per slot
+// to every subscribed tuner; tuners are single-channel receivers, exactly
+// like the radio hardware the paper assumes — they subscribe to one
+// channel socket at a time and retune by resubscribing elsewhere.
+//
+// The transport is deliberately datagram-based: broadcast pages are
+// idempotent, self-contained and periodically retransmitted, so a lost
+// frame costs one cycle of latency, never correctness — the same loss
+// semantics as the air interface. Subscription uses two control datagrams
+// ("SUB"/"UNS") on the same socket.
+package netcast
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tcsa/internal/core"
+)
+
+// Wire format constants.
+const (
+	frameMagic   uint16 = 0x7C5A // "tcsa"
+	frameVersion byte   = 1
+	// FrameSize is the fixed encoded size of a Frame in bytes.
+	FrameSize = 16
+)
+
+// ErrBadFrame reports an undecodable datagram.
+var ErrBadFrame = errors.New("netcast: bad frame")
+
+// Frame is one slot's transmission on one channel.
+//
+// Encoding (big endian): magic(2) version(1) flags(1) channel(2)
+// reserved(2) slot(4) page(4). Page -1 (empty slot) is carried as the
+// two's-complement pattern.
+type Frame struct {
+	Channel int
+	Slot    uint32
+	Page    core.PageID
+}
+
+// appendFrame encodes f onto buf.
+func appendFrame(buf []byte, f Frame) []byte {
+	var b [FrameSize]byte
+	binary.BigEndian.PutUint16(b[0:2], frameMagic)
+	b[2] = frameVersion
+	b[3] = 0
+	binary.BigEndian.PutUint16(b[4:6], uint16(f.Channel))
+	binary.BigEndian.PutUint32(b[8:12], f.Slot)
+	binary.BigEndian.PutUint32(b[12:16], uint32(f.Page))
+	return append(buf, b[:]...)
+}
+
+// parseFrame decodes one datagram.
+func parseFrame(b []byte) (Frame, error) {
+	if len(b) != FrameSize {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != frameMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, b[0:2])
+	}
+	if b[2] != frameVersion {
+		return Frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, b[2])
+	}
+	return Frame{
+		Channel: int(binary.BigEndian.Uint16(b[4:6])),
+		Slot:    binary.BigEndian.Uint32(b[8:12]),
+		Page:    core.PageID(int32(binary.BigEndian.Uint32(b[12:16]))),
+	}, nil
+}
+
+// Control datagrams.
+var (
+	subscribeMsg   = []byte("SUB")
+	unsubscribeMsg = []byte("UNS")
+)

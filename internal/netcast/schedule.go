@@ -1,0 +1,162 @@
+package netcast
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tcsa/internal/core"
+)
+
+// ScheduleServer publishes the broadcast program (and the channel socket
+// addresses) over TCP, so clients can become schedule-aware: fetch the
+// program once, compute their page's next appearance locally, tune to the
+// right channel just in time and doze meanwhile — the software analogue of
+// the paper's published-schedule assumption.
+//
+// Wire format: a single JSON document per connection, then close.
+type ScheduleServer struct {
+	listener net.Listener
+	payload  []byte
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// scheduleDoc is the published document.
+type scheduleDoc struct {
+	Program  json.RawMessage `json:"program"`
+	Channels []string        `json:"channels"` // UDP address per channel
+	SlotMS   float64         `json:"slot_ms"`
+}
+
+// Schedule is the client-side view of a fetched schedule.
+type Schedule struct {
+	Program      *core.Program
+	ChannelAddrs []*net.UDPAddr
+	SlotDuration time.Duration
+}
+
+// ServeSchedule starts a TCP listener on addr (e.g. "127.0.0.1:0")
+// publishing srv's program and channel addresses. Close the returned
+// server to stop.
+func ServeSchedule(addr string, srv *Server) (*ScheduleServer, error) {
+	if srv == nil {
+		return nil, errors.New("netcast: nil broadcast server")
+	}
+	progJSON, err := json.Marshal(srv.prog)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: encoding program: %w", err)
+	}
+	doc := scheduleDoc{
+		Program: progJSON,
+		SlotMS:  float64(srv.slotDur) / float64(time.Millisecond),
+	}
+	for _, a := range srv.ChannelAddrs() {
+		doc.Channels = append(doc.Channels, a.String())
+	}
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: listening on %q: %w", addr, err)
+	}
+	ss := &ScheduleServer{listener: ln, payload: payload}
+	ss.wg.Add(1)
+	go func() {
+		defer ss.wg.Done()
+		ss.acceptLoop()
+	}()
+	return ss, nil
+}
+
+// Addr returns the TCP address clients fetch from.
+func (ss *ScheduleServer) Addr() net.Addr { return ss.listener.Addr() }
+
+// Close stops the listener and waits for in-flight responses.
+func (ss *ScheduleServer) Close() error {
+	ss.mu.Lock()
+	ss.closed = true
+	ss.mu.Unlock()
+	err := ss.listener.Close()
+	ss.wg.Wait()
+	return err
+}
+
+func (ss *ScheduleServer) acceptLoop() {
+	for {
+		conn, err := ss.listener.Accept()
+		if err != nil {
+			return // closed
+		}
+		ss.wg.Add(1)
+		go func() {
+			defer ss.wg.Done()
+			defer conn.Close()
+			_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			_, _ = conn.Write(ss.payload)
+		}()
+	}
+}
+
+// FetchSchedule downloads and decodes the published schedule.
+func FetchSchedule(addr string, timeout time.Duration) (*Schedule, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: dialing schedule server: %w", err)
+	}
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	data, err := io.ReadAll(io.LimitReader(conn, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("netcast: reading schedule: %w", err)
+	}
+	var doc scheduleDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("netcast: decoding schedule: %w", err)
+	}
+	var prog core.Program
+	if err := json.Unmarshal(doc.Program, &prog); err != nil {
+		return nil, fmt.Errorf("netcast: decoding program: %w", err)
+	}
+	sched := &Schedule{
+		Program:      &prog,
+		SlotDuration: time.Duration(doc.SlotMS * float64(time.Millisecond)),
+	}
+	if len(doc.Channels) != prog.Channels() {
+		return nil, fmt.Errorf("%w: %d channel addresses for %d channels",
+			ErrBadFrame, len(doc.Channels), prog.Channels())
+	}
+	for _, s := range doc.Channels {
+		udp, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			return nil, fmt.Errorf("netcast: channel address %q: %w", s, err)
+		}
+		sched.ChannelAddrs = append(sched.ChannelAddrs, udp)
+	}
+	return sched, nil
+}
+
+// Locate returns the channel and column of the next appearance of page at
+// or after the given absolute slot, using the fetched program. ok is false
+// when the page is never broadcast.
+func (s *Schedule) Locate(page core.PageID, fromSlot int) (channel, slot int, ok bool) {
+	L := s.Program.Length()
+	for step := 0; step < L; step++ {
+		abs := fromSlot + step
+		col := abs % L
+		for ch := 0; ch < s.Program.Channels(); ch++ {
+			if s.Program.At(ch, col) == page {
+				return ch, abs, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,200 @@
+package netcast
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tcsa/internal/core"
+)
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// SlotDuration is the real-time length of one broadcast slot; must be
+	// positive. Tests use ~1ms; a production deployment would match the
+	// page transmission time of its radio link.
+	SlotDuration time.Duration
+	// Host is the interface to bind, default "127.0.0.1". One UDP socket is
+	// opened per broadcast channel on an ephemeral port.
+	Host string
+}
+
+// Server replays a broadcast program over UDP, one socket per channel, one
+// frame per slot to every subscriber of that channel.
+type Server struct {
+	prog    *core.Program
+	slotDur time.Duration
+	conns   []*net.UDPConn
+
+	mu   sync.Mutex
+	subs []map[string]*net.UDPAddr // per channel, keyed by addr string
+	slot uint32
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer binds the per-channel sockets; call Run to start transmitting.
+func NewServer(prog *core.Program, cfg ServerConfig) (*Server, error) {
+	if prog == nil {
+		return nil, errors.New("netcast: nil program")
+	}
+	if cfg.SlotDuration <= 0 {
+		return nil, fmt.Errorf("netcast: slot duration %v", cfg.SlotDuration)
+	}
+	host := cfg.Host
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	s := &Server{
+		prog:    prog,
+		slotDur: cfg.SlotDuration,
+		subs:    make([]map[string]*net.UDPAddr, prog.Channels()),
+		stopped: make(chan struct{}),
+	}
+	for ch := 0; ch < prog.Channels(); ch++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(host)})
+		if err != nil {
+			s.closeConns()
+			return nil, fmt.Errorf("netcast: binding channel %d: %w", ch, err)
+		}
+		s.conns = append(s.conns, conn)
+		s.subs[ch] = make(map[string]*net.UDPAddr)
+	}
+	return s, nil
+}
+
+// ChannelAddr returns the UDP address of broadcast channel ch.
+func (s *Server) ChannelAddr(ch int) (*net.UDPAddr, error) {
+	if ch < 0 || ch >= len(s.conns) {
+		return nil, fmt.Errorf("%w: channel %d", core.ErrSlotRange, ch)
+	}
+	return s.conns[ch].LocalAddr().(*net.UDPAddr), nil
+}
+
+// ChannelAddrs returns all channel addresses in channel order.
+func (s *Server) ChannelAddrs() []*net.UDPAddr {
+	addrs := make([]*net.UDPAddr, len(s.conns))
+	for ch := range s.conns {
+		addrs[ch] = s.conns[ch].LocalAddr().(*net.UDPAddr)
+	}
+	return addrs
+}
+
+// Subscribers returns the current subscriber count of channel ch.
+func (s *Server) Subscribers(ch int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch < 0 || ch >= len(s.subs) {
+		return 0
+	}
+	return len(s.subs[ch])
+}
+
+// Slot returns the next slot index to transmit.
+func (s *Server) Slot() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slot
+}
+
+// Run transmits until ctx is cancelled or Stop is called. It owns the
+// control-message readers and the tick loop and returns after both have
+// shut down cleanly.
+func (s *Server) Run(ctx context.Context) error {
+	for ch := range s.conns {
+		ch := ch
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.readControl(ch)
+		}()
+	}
+
+	ticker := time.NewTicker(s.slotDur)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			s.Stop()
+			s.wg.Wait()
+			return ctx.Err()
+		case <-s.stopped:
+			s.wg.Wait()
+			return nil
+		case <-ticker.C:
+			s.transmit()
+		}
+	}
+}
+
+// Stop ends transmission and unblocks Run. Safe to call more than once and
+// concurrently with Run.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		s.closeConns() // unblocks the control readers
+	})
+}
+
+func (s *Server) closeConns() {
+	for _, c := range s.conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// readControl consumes SUB/UNS datagrams on channel ch's socket until it
+// is closed.
+func (s *Server) readControl(ch int) {
+	buf := make([]byte, 64)
+	for {
+		n, addr, err := s.conns[ch].ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by Stop
+		}
+		switch string(buf[:n]) {
+		case string(subscribeMsg):
+			s.mu.Lock()
+			s.subs[ch][addr.String()] = addr
+			s.mu.Unlock()
+		case string(unsubscribeMsg):
+			s.mu.Lock()
+			delete(s.subs[ch], addr.String())
+			s.mu.Unlock()
+		default:
+			// Unknown control traffic is ignored; the air interface has no
+			// back-channel errors either.
+		}
+	}
+}
+
+// transmit sends the current column on every channel to its subscribers.
+func (s *Server) transmit() {
+	s.mu.Lock()
+	slot := s.slot
+	s.slot++
+	targets := make([][]*net.UDPAddr, len(s.conns))
+	for ch := range s.subs {
+		for _, a := range s.subs[ch] {
+			targets[ch] = append(targets[ch], a)
+		}
+	}
+	s.mu.Unlock()
+
+	col := int(slot) % s.prog.Length()
+	buf := make([]byte, 0, FrameSize)
+	for ch := range s.conns {
+		f := Frame{Channel: ch, Slot: slot, Page: s.prog.At(ch, col)}
+		buf = appendFrame(buf[:0], f)
+		for _, addr := range targets[ch] {
+			// Best-effort, like the air: a failed send is a lost frame.
+			_, _ = s.conns[ch].WriteToUDP(buf, addr)
+		}
+	}
+}

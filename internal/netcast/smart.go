@@ -1,0 +1,86 @@
+package netcast
+
+import (
+	"fmt"
+	"time"
+
+	"tcsa/internal/core"
+)
+
+// SmartResult reports a schedule-aware fetch: how many frames the radio
+// was actually awake for (the energy cost) versus how long the fetch took.
+type SmartResult struct {
+	Page core.PageID
+	// ActiveFrames counts frames the tuner listened to: the sync frame,
+	// the wake-up margin and the page frame itself. A schedule-ignorant
+	// client would instead stay awake for its entire wait.
+	ActiveFrames int
+	// DozedSlots is how many slots the radio slept through.
+	DozedSlots int
+	// Elapsed is the wall-clock fetch duration.
+	Elapsed time.Duration
+}
+
+// SmartFetch retrieves a page using the published schedule: fetch the
+// program over TCP, listen for a single frame to synchronise with the
+// server's slot counter, locate the page's next appearance, doze until
+// just before it, then wake and capture it. The doze margin absorbs timer
+// jitter; two slots is ample for the millisecond-scale slots used in
+// tests.
+func SmartFetch(scheduleAddr string, page core.PageID, timeout time.Duration) (*SmartResult, error) {
+	start := time.Now()
+	sched, err := FetchSchedule(scheduleAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	n := sched.Program.GroupSet().Pages()
+	if page < 0 || int(page) >= n {
+		return nil, fmt.Errorf("%w: %d", core.ErrPageRange, page)
+	}
+	tuner, err := NewTuner()
+	if err != nil {
+		return nil, err
+	}
+	defer tuner.Close()
+
+	res := &SmartResult{Page: page}
+
+	// Synchronise: one frame from any channel tells us the absolute slot.
+	if err := tuner.Tune(sched.ChannelAddrs[0]); err != nil {
+		return nil, err
+	}
+	sync, err := tuner.ReadFrame(timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: synchronising: %w", err)
+	}
+	res.ActiveFrames++
+	if sync.Page == page {
+		res.Elapsed = time.Since(start)
+		return res, nil // lucky: the sync frame was the page
+	}
+
+	// Locate the next appearance, leaving a 2-slot wake-up margin.
+	const margin = 2
+	channel, abs, ok := sched.Locate(page, int(sync.Slot)+1)
+	if !ok {
+		return nil, fmt.Errorf("netcast: page %d is not in the broadcast schedule", page)
+	}
+	if err := tuner.Detach(); err != nil {
+		return nil, err
+	}
+	doze := abs - int(sync.Slot) - 1 - margin
+	if doze > 0 {
+		time.Sleep(time.Duration(doze) * sched.SlotDuration)
+		res.DozedSlots = doze
+	}
+	if err := tuner.Tune(sched.ChannelAddrs[channel]); err != nil {
+		return nil, err
+	}
+	frames, err := tuner.WaitForPage(page, timeout-time.Since(start))
+	if err != nil {
+		return nil, err
+	}
+	res.ActiveFrames += frames
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,68 @@
+package netcast
+
+import (
+	"testing"
+	"time"
+
+	"tcsa/internal/core"
+	"tcsa/internal/susc"
+)
+
+// longCycleProgram: one page per 32-slot cycle at a known column, so a
+// schedule-ignorant camper averages ~16 active frames while the smart
+// client dozes through almost all of them.
+func longCycleProgram(t *testing.T) *core.Program {
+	t.Helper()
+	gs := core.MustGroupSet([]core.Group{{Time: 32, Count: 30}})
+	prog, err := susc.BuildMinimal(gs) // 1 channel, cycle 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestSmartFetchDozes(t *testing.T) {
+	prog := longCycleProgram(t)
+	srv := startServer(t, prog, 2*time.Millisecond)
+	ss, err := ServeSchedule("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+
+	var totalActive, totalDozed int
+	const fetches = 6
+	for i := 0; i < fetches; i++ {
+		res, err := SmartFetch(ss.Addr().String(), core.PageID(i*5%30), 10*time.Second)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		totalActive += res.ActiveFrames
+		totalDozed += res.DozedSlots
+	}
+	// A camping client averages ~16 active frames per fetch on a 32-slot
+	// cycle; the smart client should be well under half that on average
+	// (sync + margin + page + jitter slack).
+	if avg := float64(totalActive) / fetches; avg > 10 {
+		t.Errorf("smart fetch averaged %.1f active frames, want < 10", avg)
+	}
+	if totalDozed == 0 {
+		t.Error("smart fetch never dozed on a long cycle")
+	}
+}
+
+func TestSmartFetchValidation(t *testing.T) {
+	prog := longCycleProgram(t)
+	srv := startServer(t, prog, 2*time.Millisecond)
+	ss, err := ServeSchedule("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, err := SmartFetch(ss.Addr().String(), 999, 2*time.Second); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if _, err := SmartFetch("127.0.0.1:1", 0, 300*time.Millisecond); err == nil {
+		t.Error("dead schedule endpoint accepted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package ondemand models the pull side of a hybrid broadcast system: the
+// uplink request channel and the server that answers individual client
+// requests. The paper's Section 1 motivates time-constrained broadcast
+// scheduling with exactly this coupling — every client whose expected time
+// the broadcast misses "actively sends a pull request through an uplink
+// channel", and too many such switches congest the on-demand channel. This
+// package makes that congestion measurable.
+//
+// The server is a multi-worker queueing station on the shared eventsim
+// clock: requests arrive via Submit, wait in a FCFS or earliest-deadline-
+// first queue (optionally bounded), occupy a worker for a fixed service
+// time, and leave response-time and deadline-miss statistics behind.
+package ondemand
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"tcsa/internal/core"
+	"tcsa/internal/eventsim"
+	"tcsa/internal/stats"
+)
+
+// Discipline orders the pending-request queue.
+type Discipline int
+
+const (
+	// FCFS serves requests in arrival order.
+	FCFS Discipline = iota
+	// EDF serves the request with the earliest deadline first.
+	EDF
+)
+
+// Request is one pull request.
+type Request struct {
+	Page core.PageID
+	// Deadline is the absolute simulation time by which the response is
+	// useful; it orders the EDF queue and feeds deadline-miss accounting.
+	// +Inf (or simply math.MaxFloat64) means "no deadline".
+	Deadline float64
+	// Tag is an opaque caller-defined correlation id, echoed to OnComplete.
+	Tag uint64
+}
+
+// Config parameterises the server.
+type Config struct {
+	// ServiceTime is the slots one request occupies a worker; must be > 0.
+	ServiceTime float64
+	// Workers is the number of parallel servers; 0 defaults to 1.
+	Workers int
+	// Discipline selects the queue order; default FCFS.
+	Discipline Discipline
+	// QueueLimit bounds the waiting queue; 0 means unbounded. Submissions
+	// beyond the bound are rejected (counted, not served).
+	QueueLimit int
+	// OnComplete, when non-nil, is invoked at each request's completion
+	// instant with the request and its submit/complete times — the hook
+	// that lets callers (e.g. the hybrid system) attribute per-request
+	// response times.
+	OnComplete func(req Request, submitted, completed float64)
+}
+
+// Metrics summarises a server's lifetime.
+type Metrics struct {
+	Submitted      int
+	Completed      int
+	Rejected       int
+	DeadlineMisses int           // completions after their deadline
+	AvgResponse    float64       // mean submit-to-completion time
+	Response       stats.Summary // full response-time profile
+	MaxQueueLen    int
+	AvgQueueLen    float64 // time-weighted mean queue length
+}
+
+// Server is the on-demand station. Create with New; methods are not
+// goroutine-safe (the simulation is single-threaded by design).
+type Server struct {
+	sim  *eventsim.Simulator
+	cfg  Config
+	q    requestQueue
+	busy int
+	seq  uint64
+
+	submitted  int
+	completed  int
+	rejected   int
+	misses     int
+	responses  []float64
+	maxQ       int
+	qArea      float64 // integral of queue length over time
+	lastChange float64
+}
+
+// New creates a server on the shared simulator clock.
+func New(sim *eventsim.Simulator, cfg Config) (*Server, error) {
+	if sim == nil {
+		return nil, errors.New("ondemand: nil simulator")
+	}
+	if cfg.ServiceTime <= 0 {
+		return nil, fmt.Errorf("ondemand: service time %f", cfg.ServiceTime)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("ondemand: %d workers", cfg.Workers)
+	}
+	if cfg.Discipline != FCFS && cfg.Discipline != EDF {
+		return nil, fmt.Errorf("ondemand: unknown discipline %d", cfg.Discipline)
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("ondemand: queue limit %d", cfg.QueueLimit)
+	}
+	s := &Server{sim: sim, cfg: cfg}
+	s.q.byDeadline = cfg.Discipline == EDF
+	return s, nil
+}
+
+// Submit hands a request to the server at the current simulation time.
+// It returns false if the queue bound rejected the request.
+func (s *Server) Submit(req Request) bool {
+	s.submitted++
+	if s.busy < s.cfg.Workers {
+		s.busy++
+		s.startService(req, s.sim.Now())
+		return true
+	}
+	if s.cfg.QueueLimit > 0 && s.q.Len() >= s.cfg.QueueLimit {
+		s.rejected++
+		return false
+	}
+	s.accountQueue()
+	s.seq++
+	heap.Push(&s.q, queued{req: req, at: s.sim.Now(), seq: s.seq})
+	if s.q.Len() > s.maxQ {
+		s.maxQ = s.q.Len()
+	}
+	return true
+}
+
+// startService occupies a worker for one request submitted at submitTime.
+func (s *Server) startService(req Request, submitTime float64) {
+	// Scheduling service completion never fails: the delay is positive.
+	_ = s.sim.After(s.cfg.ServiceTime, func() {
+		now := s.sim.Now()
+		s.completed++
+		s.responses = append(s.responses, now-submitTime)
+		if now > req.Deadline {
+			s.misses++
+		}
+		if s.cfg.OnComplete != nil {
+			s.cfg.OnComplete(req, submitTime, now)
+		}
+		if s.q.Len() > 0 {
+			s.accountQueue()
+			next := heap.Pop(&s.q).(queued)
+			s.startService(next.req, next.at)
+		} else {
+			s.busy--
+		}
+	})
+}
+
+// accountQueue integrates queue length over time for AvgQueueLen.
+func (s *Server) accountQueue() {
+	now := s.sim.Now()
+	s.qArea += float64(s.q.Len()) * (now - s.lastChange)
+	s.lastChange = now
+}
+
+// QueueLen returns the current number of waiting (not in-service) requests.
+func (s *Server) QueueLen() int { return s.q.Len() }
+
+// Busy returns the number of occupied workers.
+func (s *Server) Busy() int { return s.busy }
+
+// Metrics snapshots the server's statistics at the current simulation time.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		Submitted:      s.submitted,
+		Completed:      s.completed,
+		Rejected:       s.rejected,
+		DeadlineMisses: s.misses,
+		AvgResponse:    stats.Mean(s.responses),
+		Response:       stats.Summarize(s.responses),
+		MaxQueueLen:    s.maxQ,
+	}
+	if now := s.sim.Now(); now > 0 {
+		m.AvgQueueLen = (s.qArea + float64(s.q.Len())*(now-s.lastChange)) / now
+	}
+	return m
+}
+
+// NoDeadline is a convenience deadline for requests without one.
+const NoDeadline = math.MaxFloat64
+
+// queued is a waiting request.
+type queued struct {
+	req Request
+	at  float64
+	seq uint64
+}
+
+// requestQueue is a heap ordered FCFS (seq) or EDF (deadline, then seq).
+type requestQueue struct {
+	items      []queued
+	byDeadline bool
+}
+
+func (q *requestQueue) Len() int { return len(q.items) }
+
+func (q *requestQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.byDeadline && a.req.Deadline != b.req.Deadline {
+		return a.req.Deadline < b.req.Deadline
+	}
+	return a.seq < b.seq
+}
+
+func (q *requestQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *requestQueue) Push(x any) { q.items = append(q.items, x.(queued)) }
+
+func (q *requestQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,194 @@
+// Package opt implements the OPT comparator of "Time-Constrained Service
+// on Air" (ICDCS 2005), Section 5: an exhaustive search for the broadcast
+// frequency assignment with the minimum analytic average group delay.
+//
+// PAMAD explores the divisor-chain frequency family S_i = prod_{j>=i} r_j
+// greedily, fixing each r one stage at a time. Search explores the same
+// family exhaustively — the full Cartesian product of repetition factors —
+// so the measured PAMAD-vs-OPT gap is exactly the cost of PAMAD's
+// greediness. For small instances BruteForce additionally enumerates every
+// non-increasing frequency vector (a strict superset of the divisor-chain
+// family), bounding how much the family restriction itself costs; the
+// package tests use it to validate near-optimality claims.
+//
+// The paper notes OPT's "searching time is unacceptably high"; this
+// implementation parallelises the scan across the first repetition factor
+// with a bounded worker pool and supports context cancellation, which keeps
+// the default benchmarks tractable without changing the result.
+package opt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxFactor caps each repetition factor r_i. 0 means automatic: twice
+	// the group-time ratio t_{i+1}/t_i (the zero-delay factor), at least 4.
+	// Raising it widens the searched family at exponential cost.
+	MaxFactor int
+	// Parallelism bounds concurrent workers; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Result is the best frequency assignment found.
+type Result struct {
+	Frequencies delaymodel.Frequencies
+	Delay       float64 // analytic D' of Frequencies
+	Evaluated   int64   // number of candidate vectors scored
+}
+
+// Search exhaustively scans the divisor-chain frequency family for the
+// vector minimising the analytic average group delay D' at nReal channels.
+// Ties are broken toward fewer total transmissions (shorter major cycle),
+// then lexicographically, so the result is deterministic regardless of
+// worker interleaving.
+func Search(ctx context.Context, gs *core.GroupSet, nReal int, opts Options) (*Result, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if nReal < 1 {
+		return nil, fmt.Errorf("%w: %d channels", core.ErrInsufficientChannels, nReal)
+	}
+	h := gs.Len()
+	if h == 1 {
+		return &Result{Frequencies: delaymodel.Frequencies{1}, Delay: delaymodel.GroupDelay(gs, delaymodel.Frequencies{1}, nReal), Evaluated: 1}, nil
+	}
+
+	caps := factorCaps(gs, opts.MaxFactor)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > caps[0] {
+		workers = caps[0]
+	}
+
+	// Fan out over r_1; each worker scans the remaining factors serially.
+	firsts := make(chan int)
+	results := make(chan *Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := &Result{Delay: -1}
+			r := make([]int, h-1)
+			for first := range firsts {
+				r[0] = first
+				scan(gs, nReal, caps, r, 1, local)
+			}
+			results <- local
+		}()
+	}
+
+	var sendErr error
+feed:
+	for first := 1; first <= caps[0]; first++ {
+		select {
+		case firsts <- first:
+		case <-ctx.Done():
+			sendErr = ctx.Err()
+			break feed
+		}
+	}
+	close(firsts)
+	wg.Wait()
+	close(results)
+
+	best := &Result{Delay: -1}
+	for local := range results {
+		best.Evaluated += local.Evaluated
+		if local.Delay < 0 {
+			continue
+		}
+		if best.Delay < 0 || betterResult(gs, local, best) {
+			best.Frequencies = local.Frequencies
+			best.Delay = local.Delay
+		}
+	}
+	if sendErr != nil && best.Delay < 0 {
+		return nil, sendErr
+	}
+	if best.Delay < 0 {
+		return nil, fmt.Errorf("opt: no candidate evaluated (caps=%v)", caps)
+	}
+	return best, nil
+}
+
+// scan recursively enumerates r[depth:] and scores complete vectors into
+// local (which uses Delay < 0 as "empty").
+func scan(gs *core.GroupSet, nReal int, caps, r []int, depth int, local *Result) {
+	if depth == len(r) {
+		s := chainFrequencies(r)
+		d := delaymodel.GroupDelay(gs, s, nReal)
+		local.Evaluated++
+		cand := &Result{Frequencies: s, Delay: d}
+		if local.Delay < 0 || betterResult(gs, cand, local) {
+			local.Frequencies = s
+			local.Delay = d
+		}
+		return
+	}
+	for v := 1; v <= caps[depth]; v++ {
+		r[depth] = v
+		scan(gs, nReal, caps, r, depth+1, local)
+	}
+}
+
+// chainFrequencies converts repetition factors r_1..r_{h-1} to frequencies
+// S_i = prod_{j=i}^{h-1} r_j, S_h = 1.
+func chainFrequencies(r []int) delaymodel.Frequencies {
+	h := len(r) + 1
+	s := make(delaymodel.Frequencies, h)
+	s[h-1] = 1
+	for i := h - 2; i >= 0; i-- {
+		s[i] = s[i+1] * r[i]
+	}
+	return s
+}
+
+// factorCaps derives the per-position candidate cap for r_i.
+func factorCaps(gs *core.GroupSet, maxFactor int) []int {
+	h := gs.Len()
+	caps := make([]int, h-1)
+	for i := range caps {
+		ratio := gs.Group(i+1).Time / gs.Group(i).Time
+		c := 2 * ratio
+		if c < 4 {
+			c = 4
+		}
+		if maxFactor > 0 && c > maxFactor {
+			c = maxFactor
+		}
+		if c < 1 {
+			c = 1
+		}
+		caps[i] = c
+	}
+	return caps
+}
+
+// betterResult reports whether a beats b: strictly lower delay; on ties,
+// fewer total transmissions; then lexicographically smaller frequencies.
+func betterResult(gs *core.GroupSet, a, b *Result) bool {
+	if a.Delay != b.Delay {
+		return a.Delay < b.Delay
+	}
+	fa, fb := a.Frequencies.TotalSlots(gs), b.Frequencies.TotalSlots(gs)
+	if fa != fb {
+		return fa < fb
+	}
+	for i := range a.Frequencies {
+		if a.Frequencies[i] != b.Frequencies[i] {
+			return a.Frequencies[i] < b.Frequencies[i]
+		}
+	}
+	return false
+}

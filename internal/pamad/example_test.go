@@ -1,0 +1,28 @@
+package pamad_test
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/pamad"
+)
+
+// The paper's Figure 2 walkthrough: P = (3, 5, 3), t = (2, 4, 8), three of
+// the four required channels available.
+func ExampleBuild() {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+	prog, res, err := pamad.Build(gs, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("frequencies:", res.Frequencies)
+	fmt.Println("major cycle:", prog.Length())
+	for _, st := range res.Trace {
+		fmt.Printf("stage %d: r=%d (D'=%.4f)\n", st.Stage, st.Chosen, st.Delay)
+	}
+	// Output:
+	// frequencies: [4 2 1]
+	// major cycle: 9
+	// stage 2: r=2 (D'=0.0000)
+	// stage 3: r=2 (D'=0.0417)
+}

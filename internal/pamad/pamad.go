@@ -1,0 +1,220 @@
+// Package pamad implements the Progressively Approaching Minimum Average
+// Delay (PAMAD) method of "Time-Constrained Service on Air" (ICDCS 2005),
+// Section 4: broadcast scheduling when the available channels are fewer
+// than the Theorem 3.1 minimum.
+//
+// Rather than dropping pages (which would push their clients onto the
+// congested on-demand channel), PAMAD reduces how often each page is
+// broadcast and disperses the resulting delay evenly:
+//
+//  1. Frequencies (Algorithm 3) derives per-group broadcast frequencies
+//     S_1..S_h progressively: at stage i it varies the repetition factor
+//     r_{i-1} of the already-scheduled prefix inside the t_i window and
+//     keeps the value minimising the analytic average group delay D'_i;
+//     finally S_i = prod_{j=i}^{h-1} r_j and S_h = 1.
+//  2. Build (Algorithm 4) spreads each page's S_i appearances evenly over
+//     the major cycle t_major = ceil(sum_i S_i*P_i / N_real).
+//
+// The package reproduces the paper's Figure 2 walkthrough exactly; see the
+// tests.
+package pamad
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+// Candidate records one evaluated repetition factor during a derivation
+// stage.
+type Candidate struct {
+	R     int     // candidate r_{i-1}
+	Delay float64 // D'_i at this candidate
+}
+
+// Stage records the derivation trace of one progressive step.
+type Stage struct {
+	Stage      int         // i, 2-based like the paper (stage 1 is trivial)
+	Cap        int         // largest candidate considered (Algorithm 3 bound)
+	Candidates []Candidate // evaluated candidates in order
+	Chosen     int         // r_{i-1}^opt
+	Delay      float64     // D'_i at the chosen candidate
+}
+
+// Result bundles everything Build produces besides the program itself.
+type Result struct {
+	Frequencies delaymodel.Frequencies // chosen S_1..S_h
+	Trace       []Stage                // per-stage derivation trace
+	MajorCycle  int                    // t_major in slots
+	Delay       float64                // analytic D' of the chosen frequencies
+	Placement   PlacementStats
+}
+
+// TieBreak selects how a derivation stage resolves ties in D'_i, which in
+// practice occur only when several candidates reach D'_i = 0 (the
+// near-sufficient regime). The paper's Algorithm 3 does not specify a rule.
+type TieBreak int
+
+const (
+	// TieTowardRatio (default) breaks ties toward the deadline-preserving
+	// factor t_i/t_{i-1}, so the derivation converges on the SUSC
+	// frequencies S_i = t_h/t_i whenever bandwidth allows; the schedule
+	// then degrades continuously into the sufficient-channel regime.
+	TieTowardRatio TieBreak = iota
+	// TieSmallestR keeps the first (smallest) argmin, the literal reading
+	// of Algorithm 3's loop. It spends less bandwidth on early groups,
+	// which can help or hurt later stages; see the ablation experiment.
+	TieSmallestR
+)
+
+// Options tunes the frequency derivation.
+type Options struct {
+	TieBreak TieBreak
+}
+
+// Frequencies runs Algorithm 3 with default options: the progressive
+// derivation of the broadcast frequencies S_1..S_h for nReal channels. It
+// works for any nReal >= 1, including the sufficient-channel regime (where
+// the default tie-break converges on zero-delay frequencies).
+func Frequencies(gs *core.GroupSet, nReal int) (delaymodel.Frequencies, []Stage, error) {
+	return FrequenciesOpt(gs, nReal, Options{})
+}
+
+// FrequenciesOpt is Frequencies with explicit options.
+func FrequenciesOpt(gs *core.GroupSet, nReal int, opts Options) (delaymodel.Frequencies, []Stage, error) {
+	if gs == nil {
+		return nil, nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if nReal < 1 {
+		return nil, nil, fmt.Errorf("%w: %d channels", core.ErrInsufficientChannels, nReal)
+	}
+	h := gs.Len()
+	r := make([]int, h) // r[i] = r_{i+1} in paper numbering; r[h-1] unused (=1)
+	for i := range r {
+		r[i] = 1
+	}
+	var trace []Stage
+
+	// Stage i (paper numbering, 2..h): choose r_{i-1}.
+	for i := 2; i <= h; i++ {
+		limit := candidateCap(gs, r, i, nReal)
+		// ci is the deadline-preserving repetition factor t_i/t_{i-1}: with
+		// r_{i-1} = ci every already-scheduled group keeps meeting its own
+		// expected time inside the t_i window. Under TieTowardRatio, ties
+		// in D'_i are broken toward ci so the derivation converges on the
+		// SUSC frequencies S_i = t_h/t_i whenever bandwidth allows instead
+		// of greedily locking a too-low prefix frequency in.
+		ci := gs.Group(i-1).Time / gs.Group(i-2).Time
+		st := Stage{Stage: i, Cap: limit, Chosen: 1}
+		best := -1.0
+		for cand := 1; cand <= limit; cand++ {
+			r[i-2] = cand
+			s := stageFrequencies(r, i)
+			d := delaymodel.StageDelay(gs, s, i, nReal)
+			st.Candidates = append(st.Candidates, Candidate{R: cand, Delay: d})
+			better := best < 0 || d < best
+			if !better && d == best && opts.TieBreak == TieTowardRatio {
+				better = closerTo(cand, st.Chosen, ci)
+			}
+			if better {
+				best = d
+				st.Chosen = cand
+			}
+			if d == 0 && (opts.TieBreak == TieSmallestR || cand >= ci) {
+				// Beyond this point larger r cannot be strictly better: the
+				// stage delay is already zero and (for the ratio tie-break)
+				// the target factor is reached; extra repetitions only
+				// inflate the cycle. The paper stops here too: "we do not
+				// have to consider r >= 3".
+				break
+			}
+		}
+		st.Delay = best
+		r[i-2] = st.Chosen
+		trace = append(trace, st)
+	}
+
+	s := stageFrequencies(r, h)
+	return s, trace, nil
+}
+
+// closerTo reports whether a is strictly closer to target than b (larger
+// value wins exact-distance ties, favouring higher frequency).
+func closerTo(a, b, target int) bool {
+	da, db := absInt(a-target), absInt(b-target)
+	if da != db {
+		return da < db
+	}
+	return a > b
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// stageFrequencies materialises the stage-i frequency vector
+// S_g = prod_{l=g}^{i-1} r_l (g < i), S_i = 1, from the r prefix.
+// Indexes: r[l] corresponds to the paper's r_{l+1}.
+func stageFrequencies(r []int, stage int) delaymodel.Frequencies {
+	s := make(delaymodel.Frequencies, stage)
+	s[stage-1] = 1
+	for g := stage - 2; g >= 0; g-- {
+		s[g] = s[g+1] * r[g]
+	}
+	return s
+}
+
+// candidateCap evaluates Algorithm 3's loop bound for stage i: the number
+// of whole repetitions of the groups-1..i-1 prefix program that fit in the
+// t_i window after reserving P_i slots for group i, never below 1.
+func candidateCap(gs *core.GroupSet, r []int, i, nReal int) int {
+	ti := gs.Group(i - 1).Time
+	pi := gs.Group(i - 1).Count
+	// One repetition of the prefix costs sum_{j=1}^{i-2} prod_{k=j}^{i-2}
+	// r_k * P_j + P_{i-1} slots.
+	denom := gs.Group(i - 2).Count
+	weight := 1
+	for j := i - 2; j >= 1; j-- {
+		weight *= r[j-1] // r_j in paper numbering is r[j-1]
+		denom += weight * gs.Group(j-1).Count
+	}
+	numer := nReal*ti - pi
+	if numer <= 0 || denom <= 0 {
+		return 1
+	}
+	limit := core.CeilDiv(numer, denom)
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// Build runs the complete PAMAD method with default options: derive
+// frequencies, then generate the broadcast program with evenly-spread
+// placements (Algorithm 4).
+func Build(gs *core.GroupSet, nReal int) (*core.Program, *Result, error) {
+	return BuildOpt(gs, nReal, Options{})
+}
+
+// BuildOpt is Build with explicit options.
+func BuildOpt(gs *core.GroupSet, nReal int, opts Options) (*core.Program, *Result, error) {
+	s, trace, err := FrequenciesOpt(gs, nReal, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, stats, err := PlaceEvenly(gs, s, nReal)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, &Result{
+		Frequencies: s,
+		Trace:       trace,
+		MajorCycle:  prog.Length(),
+		Delay:       delaymodel.GroupDelay(gs, s, nReal),
+		Placement:   stats,
+	}, nil
+}

@@ -1,0 +1,306 @@
+package pamad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+func fig2() *core.GroupSet {
+	return core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+}
+
+// TestFigure2Frequencies reproduces the paper's Figure 2(b) derivation with
+// N_real = 3: r_1^opt = 2, r_2^opt = 2, S = (4, 2, 1).
+func TestFigure2Frequencies(t *testing.T) {
+	s, trace, err := Frequencies(fig2(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := delaymodel.Frequencies{4, 2, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("S = %v, want %v", s, want)
+		}
+	}
+	if len(trace) != 2 {
+		t.Fatalf("trace has %d stages, want 2", len(trace))
+	}
+	// Stage 2: candidates r_1 = 1 (D'=0.125) then 2 (D'=0); cap ceil(7/3)=3.
+	st := trace[0]
+	if st.Stage != 2 || st.Chosen != 2 || st.Cap != 3 {
+		t.Errorf("stage 2 = %+v, want Stage=2 Chosen=2 Cap=3", st)
+	}
+	if len(st.Candidates) != 2 {
+		t.Errorf("stage 2 evaluated %d candidates, want 2 (stop at zero delay)", len(st.Candidates))
+	}
+	if math.Abs(st.Candidates[0].Delay-0.125) > 1e-9 || st.Candidates[1].Delay != 0 {
+		t.Errorf("stage 2 candidate delays = %+v, want 0.125 then 0", st.Candidates)
+	}
+	// Stage 3: r_2 = 1 gives ~0.155, r_2 = 2 gives ~0.0417.
+	st = trace[1]
+	if st.Stage != 3 || st.Chosen != 2 {
+		t.Errorf("stage 3 = %+v, want Chosen=2", st)
+	}
+	if math.Abs(st.Delay-1.0/24.0) > 1e-9 {
+		t.Errorf("stage 3 delay = %f, want %f", st.Delay, 1.0/24.0)
+	}
+}
+
+// TestFigure2Build checks the full Figure 2 pipeline: t_major = 9, all 25
+// transmissions placed, every page appearing exactly S_i times.
+func TestFigure2Build(t *testing.T) {
+	gs := fig2()
+	prog, res, err := Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Length() != 9 {
+		t.Errorf("t_major = %d, want ceil(25/3) = 9", prog.Length())
+	}
+	if prog.Channels() != 3 {
+		t.Errorf("channels = %d, want 3", prog.Channels())
+	}
+	if prog.Filled() != 25 {
+		t.Errorf("filled = %d, want 25", prog.Filled())
+	}
+	if res.Placement.EmptySlots != 27-25 {
+		t.Errorf("empty slots = %d, want 2", res.Placement.EmptySlots)
+	}
+	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
+		gi := gs.GroupOf(id)
+		if got, want := prog.CountOf(id), res.Frequencies[gi]; got != want {
+			t.Errorf("page %d broadcast %d times, want S=%d", id, got, want)
+		}
+	}
+	if math.Abs(res.Delay-1.0/24.0) > 1e-9 {
+		t.Errorf("Delay = %f, want %f", res.Delay, 1.0/24.0)
+	}
+}
+
+func TestFrequenciesErrors(t *testing.T) {
+	if _, _, err := Frequencies(nil, 3); err == nil {
+		t.Error("nil group set accepted")
+	}
+	if _, _, err := Frequencies(fig2(), 0); err == nil {
+		t.Error("0 channels accepted")
+	}
+	if _, _, err := Build(fig2(), 0); err == nil {
+		t.Error("Build with 0 channels accepted")
+	}
+}
+
+func TestSingleGroupFrequencies(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 4, Count: 10}})
+	s, trace, err := Frequencies(gs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 1 || s[0] != 1 {
+		t.Errorf("S = %v, want [1]", s)
+	}
+	if len(trace) != 0 {
+		t.Errorf("trace = %v, want empty (stage 1 is trivial)", trace)
+	}
+}
+
+// TestSufficientChannelsZeroDelay: with N >= MinChannels PAMAD recovers the
+// zero-delay frequencies S_i = t_h/t_i on the Figure 2 instance.
+func TestSufficientChannelsZeroDelay(t *testing.T) {
+	gs := fig2()
+	s, _, err := Frequencies(gs, gs.MinChannels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := delaymodel.GroupDelay(gs, s, gs.MinChannels()); d != 0 {
+		t.Errorf("delay at sufficient channels = %f, want 0 (S=%v)", d, s)
+	}
+}
+
+// TestFrequenciesRespectLowerBound: every S_i >= 1 even at one channel on
+// heavily overloaded instances.
+func TestFrequenciesRespectLowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gs := randomGroupSet(rng)
+		nReal := 1 + rng.Intn(gs.MinChannels())
+		s, _, err := Frequencies(gs, nReal)
+		if err != nil {
+			return false
+		}
+		return s.Validate(gs) == nil && s[gs.Len()-1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrequenciesMonotoneStructure: S_i is non-increasing in i (pages with
+// tighter expected times are broadcast at least as often).
+func TestFrequenciesMonotoneStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gs := randomGroupSet(rng)
+		nReal := 1 + rng.Intn(gs.MinChannels())
+		s, _, err := Frequencies(gs, nReal)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] > s[i-1] {
+				return false
+			}
+			if s[i-1]%s[i] != 0 { // divisor-chain structure S_i = r_i*S_{i+1}
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlaceEvenlyProperties: every page appears exactly S_i times, the grid
+// is consistent, and the empirical delay of the built program is close to
+// the ideal even-spread model.
+func TestPlaceEvenlyProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gs := randomGroupSet(rng)
+		nReal := 1 + rng.Intn(gs.MinChannels())
+		prog, res, err := Build(gs, nReal)
+		if err != nil {
+			t.Logf("seed %d (%v, N=%d): %v", seed, gs, nReal, err)
+			return false
+		}
+		for id := core.PageID(0); int(id) < gs.Pages(); id++ {
+			if prog.CountOf(id) != res.Frequencies[gs.GroupOf(id)] {
+				t.Logf("seed %d: page %d count mismatch", seed, id)
+				return false
+			}
+		}
+		if prog.Filled() != res.Frequencies.TotalSlots(gs) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildDelayTracksModel compares the exact measured delay of the
+// generated program against the ideal even-spacing model: Algorithm 4's
+// discretisation should stay within a couple of slots.
+func TestBuildDelayTracksModel(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{
+		{Time: 4, Count: 30}, {Time: 8, Count: 40}, {Time: 16, Count: 30}, {Time: 32, Count: 20},
+	})
+	for nReal := 1; nReal < gs.MinChannels(); nReal++ {
+		prog, res, err := Build(gs, nReal)
+		if err != nil {
+			t.Fatalf("N=%d: %v", nReal, err)
+		}
+		measured := core.Analyze(prog).AvgDelay()
+		ideal := delaymodel.ExactDelay(gs, res.Frequencies, nReal)
+		if math.Abs(measured-ideal) > 2.0+0.1*ideal {
+			t.Errorf("N=%d: measured AvgD %.3f vs ideal %.3f (S=%v, spills=%d)",
+				nReal, measured, ideal, res.Frequencies, res.Placement.Spills)
+		}
+	}
+}
+
+// TestEveryPageWithinWindowSpread: with zero spills each page's k-th
+// appearance lands inside its designated window.
+func TestWindowedPlacement(t *testing.T) {
+	gs := fig2()
+	prog, res, err := Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.Spills != 0 {
+		t.Skipf("placement spilled %d times; window assertion not applicable", res.Placement.Spills)
+	}
+	tMajor := prog.Length()
+	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
+		si := res.Frequencies[gs.GroupOf(id)]
+		cols := prog.Appearances(id)
+		if len(cols) != si {
+			t.Fatalf("page %d: %d distinct columns, want %d", id, len(cols), si)
+		}
+		for k, col := range cols {
+			lo := core.CeilDiv(tMajor*k, si)
+			hi := core.CeilDiv(tMajor*(k+1), si)
+			if col < lo || col >= hi {
+				t.Errorf("page %d appearance %d at column %d outside window [%d,%d)", id, k, col, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPlaceEvenlyValidatesInput(t *testing.T) {
+	gs := fig2()
+	if _, _, err := PlaceEvenly(gs, delaymodel.Frequencies{1, 1}, 3); err == nil {
+		t.Error("short frequency vector accepted")
+	}
+	if _, _, err := PlaceEvenly(gs, delaymodel.Frequencies{1, 1, 1}, 0); err == nil {
+		t.Error("0 channels accepted")
+	}
+}
+
+func randomGroupSet(rng *rand.Rand) *core.GroupSet {
+	h := 1 + rng.Intn(5)
+	groups := make([]core.Group, h)
+	tt := 2 + rng.Intn(4)
+	for i := 0; i < h; i++ {
+		groups[i] = core.Group{Time: tt, Count: 1 + rng.Intn(30)}
+		tt *= 2
+	}
+	return core.MustGroupSet(groups)
+}
+
+// TestTieBreakModes: the paper-literal TieSmallestR picks r_1 = 1 where the
+// default breaks the zero-delay tie toward the deadline ratio; both must be
+// valid frequency vectors and agree whenever no tie occurs (Figure 2).
+func TestTieBreakModes(t *testing.T) {
+	gs := fig2()
+	def, _, err := FrequenciesOpt(gs, 3, Options{TieBreak: TieTowardRatio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, _, err := FrequenciesOpt(gs, 3, Options{TieBreak: TieSmallestR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if def[i] != lit[i] {
+			t.Errorf("tie-break changed the no-tie Figure 2 result: %v vs %v", def, lit)
+			break
+		}
+	}
+	// At sufficient channels stage delays tie at zero: literal keeps r=1,
+	// default climbs to the ratio.
+	n := gs.MinChannels()
+	def, _, err = FrequenciesOpt(gs, n, Options{TieBreak: TieTowardRatio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, _, err = FrequenciesOpt(gs, n, Options{TieBreak: TieSmallestR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def[0] != 4 {
+		t.Errorf("TieTowardRatio S_1 = %d, want 4 (SUSC frequency)", def[0])
+	}
+	if lit[0] >= def[0] {
+		t.Errorf("TieSmallestR S_1 = %d, want < %d", lit[0], def[0])
+	}
+	if err := lit.Validate(gs); err != nil {
+		t.Errorf("literal frequencies invalid: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package pamad
+
+import (
+	"fmt"
+	"sort"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+// PlacementStats reports how faithfully Algorithm 4 realised the even
+// spread.
+type PlacementStats struct {
+	// Spills counts placements that did not fit anywhere inside their
+	// preferred window [ceil(t_major*k/S), ceil(t_major*(k+1)/S)) and had
+	// to continue scanning cyclically past it. The paper argues the window
+	// always has room; the counter makes that claim observable.
+	Spills int
+	// EmptySlots is the number of unused grid cells (N*t_major - F).
+	EmptySlots int
+}
+
+// PlaceEvenly is Algorithm 4 of the paper: given per-group broadcast
+// frequencies, build the broadcast program that spreads every page's S_i
+// appearances evenly over the major cycle. Pages are placed in descending
+// frequency order; each appearance k targets the window
+// [ceil(t_major*k/S_i), ceil(t_major*(k+1)/S_i)) and takes the first free
+// channel slot, column-major. If the window is exhausted the scan continues
+// cyclically (counted in PlacementStats.Spills); a free slot always exists
+// because t_major was sized to hold all F transmissions.
+//
+// The same placement routine serves both PAMAD and the m-PB baseline, as in
+// the paper's experimental setup ("assignment of data to multiple channels
+// is the same as that of the PAMAD algorithm once the broadcast frequency
+// is determined").
+func PlaceEvenly(gs *core.GroupSet, s delaymodel.Frequencies, nReal int) (*core.Program, PlacementStats, error) {
+	var stats PlacementStats
+	if err := s.Validate(gs); err != nil {
+		return nil, stats, err
+	}
+	if nReal < 1 {
+		return nil, stats, fmt.Errorf("%w: %d channels", core.ErrInsufficientChannels, nReal)
+	}
+	tMajor := s.MajorCycle(gs, nReal)
+	prog, err := core.NewProgram(gs, nReal, tMajor)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// freeInCol[c] tracks how many empty cells column c still has, so the
+	// spill scan can skip saturated columns in O(1) per column.
+	freeInCol := make([]int, tMajor)
+	for c := range freeInCol {
+		freeInCol[c] = nReal
+	}
+
+	// Descending frequency order; ties resolved by group order (ascending
+	// expected time), preserving the paper's sort stability.
+	order := make([]int, gs.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s[order[a]] > s[order[b]] })
+
+	for _, gi := range order {
+		g := gs.Group(gi)
+		si := s[gi]
+		for j := 0; j < g.Count; j++ {
+			id := gs.PageAt(gi, j)
+			for k := 0; k < si; k++ {
+				start := core.CeilDiv(tMajor*k, si)
+				end := core.CeilDiv(tMajor*(k+1), si)
+				col, ok := findFreeColumn(freeInCol, start, end)
+				if !ok {
+					stats.Spills++
+					col, ok = findFreeColumnCyclic(freeInCol, end, tMajor)
+					if !ok {
+						return nil, stats, fmt.Errorf(
+							"pamad: no free slot for page %d appearance %d/%d (t_major=%d, F=%d, N=%d)",
+							id, k+1, si, tMajor, s.TotalSlots(gs), nReal)
+					}
+				}
+				if err := placeInColumn(prog, col, id); err != nil {
+					return nil, stats, err
+				}
+				freeInCol[col]--
+			}
+		}
+	}
+	stats.EmptySlots = nReal*tMajor - prog.Filled()
+	return prog, stats, nil
+}
+
+// findFreeColumn returns the first column in [start, end) with a free cell.
+func findFreeColumn(freeInCol []int, start, end int) (int, bool) {
+	for c := start; c < end && c < len(freeInCol); c++ {
+		if freeInCol[c] > 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// findFreeColumnCyclic scans from column `from` wrapping around the cycle.
+func findFreeColumnCyclic(freeInCol []int, from, tMajor int) (int, bool) {
+	for step := 0; step < tMajor; step++ {
+		c := (from + step) % tMajor
+		if freeInCol[c] > 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// placeInColumn puts id in the first empty channel of column col.
+func placeInColumn(prog *core.Program, col int, id core.PageID) error {
+	for ch := 0; ch < prog.Channels(); ch++ {
+		if prog.At(ch, col) == core.None {
+			return prog.Place(ch, col, id)
+		}
+	}
+	return fmt.Errorf("%w: column %d unexpectedly full", core.ErrSlotOccupied, col)
+}

@@ -1,0 +1,29 @@
+package susc_test
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/susc"
+)
+
+// The Section 3.1 example: 2 pages due within 2 slots and 3 within 4 need
+// ceil(2/2 + 3/4) = 2 channels, and SUSC schedules them validly on exactly
+// that many.
+func ExampleBuildMinimal() {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 4, Count: 3}})
+	prog, err := susc.BuildMinimal(gs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("channels:", prog.Channels())
+	fmt.Println("cycle:   ", prog.Length())
+	fmt.Println("valid:   ", prog.Validate() == nil)
+	fmt.Print(prog)
+	// Output:
+	// channels: 2
+	// cycle:    4
+	// valid:    true
+	// ch0  |  0  1  0  1
+	// ch1  |  2  3  4 --
+}

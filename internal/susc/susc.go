@@ -1,0 +1,96 @@
+// Package susc implements the Scheduling Under Sufficient Channels (SUSC)
+// algorithm of "Time-Constrained Service on Air" (ICDCS 2005), Section 3.
+//
+// Given expected-time groups G_1..G_h and at least the Theorem 3.1 minimum
+// number of channels N = ceil(sum_i P_i/t_i), SUSC greedily builds a valid
+// broadcast program of cycle length t_h:
+//
+//  1. pages are assigned in ascending expected-time order;
+//  2. each page takes the first available slot (x, y) with y < t_i scanned
+//     channel-major (Algorithm 2, GetAvailableSlot);
+//  3. from its first slot the page repeats every t_i slots on the same
+//     channel (Theorem 3.3), t_h/t_i appearances per cycle.
+//
+// Theorem 3.2 guarantees step 2 always finds a slot when the channel count
+// meets the bound; Build converts a violation of that guarantee (impossible
+// for valid inputs, by the theorem) into an internal error rather than a
+// panic, so the invariant is machine-checked on every run.
+package susc
+
+import (
+	"fmt"
+
+	"tcsa/internal/core"
+)
+
+// Build produces a valid broadcast program for gs using exactly channels
+// broadcast channels and cycle length t_h. It fails with
+// core.ErrInsufficientChannels when channels is below the Theorem 3.1
+// minimum; pass gs.MinChannels() to use the proven-optimal channel count.
+func Build(gs *core.GroupSet, channels int) (*core.Program, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	min := gs.MinChannels()
+	if channels < min {
+		return nil, fmt.Errorf("%w: %d < minimum %d for %v",
+			core.ErrInsufficientChannels, channels, min, gs)
+	}
+	th := gs.MaxTime()
+	prog, err := core.NewProgram(gs, channels, th)
+	if err != nil {
+		return nil, err
+	}
+
+	// nextFree[x] is a per-channel search hint: every slot before it on
+	// channel x is occupied. Pages are placed in ascending t_i order and a
+	// page's repeats never occupy a slot before its first appearance, so
+	// slots below the hint can never free up during the build.
+	nextFree := make([]int, channels)
+
+	for i := 0; i < gs.Len(); i++ {
+		g := gs.Group(i)
+		repeats := th / g.Time
+		for j := 0; j < g.Count; j++ {
+			id := gs.PageAt(i, j)
+			x, y, ok := getAvailableSlot(prog, nextFree, g.Time)
+			if !ok {
+				// Unreachable for validated inputs (Theorem 3.2); kept as a
+				// defensive check so a future regression fails loudly.
+				return nil, fmt.Errorf("%w: no slot for page %d (group %d, t=%d) — Theorem 3.2 violated",
+					core.ErrInsufficientChannels, id, i+1, g.Time)
+			}
+			for k := 0; k < repeats; k++ {
+				if err := prog.Place(x, y+k*g.Time, id); err != nil {
+					return nil, fmt.Errorf("susc: placing page %d repeat %d: %w", id, k, err)
+				}
+			}
+			for nextFree[x] < th && prog.At(x, nextFree[x]) != core.None {
+				nextFree[x]++
+			}
+		}
+	}
+	return prog, nil
+}
+
+// BuildMinimal is Build with the Theorem 3.1 minimum channel count.
+func BuildMinimal(gs *core.GroupSet) (*core.Program, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	return Build(gs, gs.MinChannels())
+}
+
+// getAvailableSlot is Algorithm 2: scan channel x = 0..N-1, slot
+// y = 0..t-1, returning the first empty cell. nextFree provides a
+// monotone per-channel lower bound on the first free slot.
+func getAvailableSlot(p *core.Program, nextFree []int, t int) (x, y int, ok bool) {
+	for x = 0; x < p.Channels(); x++ {
+		for y = nextFree[x]; y < t; y++ {
+			if p.At(x, y) == core.None {
+				return x, y, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,183 @@
+package susc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tcsa/internal/core"
+)
+
+func TestBuildPaperExample(t *testing.T) {
+	// Section 3.1 example: P=(2,3), t=(2,4): exactly 2 channels suffice.
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 4, Count: 3}})
+	prog, err := BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Channels() != 2 {
+		t.Errorf("channels = %d, want 2", prog.Channels())
+	}
+	if prog.Length() != 4 {
+		t.Errorf("cycle length = %d, want t_h=4", prog.Length())
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("program invalid: %v\n%s", err, prog)
+	}
+}
+
+func TestBuildRejectsInsufficientChannels(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 4, Count: 3}})
+	_, err := Build(gs, 1)
+	if !errors.Is(err, core.ErrInsufficientChannels) {
+		t.Errorf("Build with 1 channel = %v, want ErrInsufficientChannels", err)
+	}
+	if _, err := Build(nil, 3); err == nil {
+		t.Error("nil group set accepted")
+	}
+	if _, err := BuildMinimal(nil); err == nil {
+		t.Error("BuildMinimal(nil) accepted")
+	}
+}
+
+func TestBuildSingleGroup(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 4, Count: 10}})
+	prog, err := BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Channels() != 3 { // ceil(10/4)
+		t.Errorf("channels = %d, want 3", prog.Channels())
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("program invalid: %v", err)
+	}
+	a := core.Analyze(prog)
+	if d := a.AvgDelay(); d != 0 {
+		t.Errorf("AvgDelay = %f, want 0 for a valid program", d)
+	}
+}
+
+// TestTheorem33Spacing verifies that every page's k-th appearance is exactly
+// t_i slots after its (k-1)-th, on the same channel (Theorem 3.3).
+func TestTheorem33Spacing(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+	prog, err := BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
+		ti := gs.TimeOf(id)
+		cols := prog.Appearances(id)
+		wantCount := gs.MaxTime() / ti
+		if len(cols) != wantCount {
+			t.Fatalf("page %d: %d appearances, want t_h/t_i = %d", id, len(cols), wantCount)
+		}
+		for k := 1; k < len(cols); k++ {
+			if cols[k]-cols[k-1] != ti {
+				t.Errorf("page %d: gap %d between appearances %d and %d, want exactly t=%d",
+					id, cols[k]-cols[k-1], k-1, k, ti)
+			}
+		}
+		// All appearances on one channel.
+		channel := -1
+		for _, col := range cols {
+			for ch := 0; ch < prog.Channels(); ch++ {
+				if prog.At(ch, col) == id {
+					if channel == -1 {
+						channel = ch
+					} else if channel != ch {
+						t.Errorf("page %d appears on channels %d and %d", id, channel, ch)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildUsesMinimumChannels verifies the paper's optimality claim: SUSC
+// succeeds at exactly N = MinChannels for random instances, and the result
+// is always a valid program (Theorem 3.2 in mechanical form).
+func TestBuildUsesMinimumChannels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gs := randomGroupSet(rng)
+		prog, err := BuildMinimal(gs)
+		if err != nil {
+			t.Logf("instance %v: %v", gs, err)
+			return false
+		}
+		if err := prog.Validate(); err != nil {
+			t.Logf("instance %v: invalid program: %v", gs, err)
+			return false
+		}
+		if core.Analyze(prog).AvgDelay() != 0 {
+			t.Logf("instance %v: nonzero delay", gs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuildWithExtraChannels verifies SUSC stays valid when given more than
+// the minimum (slack channels simply stay empty).
+func TestBuildWithExtraChannels(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+	prog, err := Build(gs, gs.MinChannels()+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("program invalid: %v", err)
+	}
+}
+
+// TestBuildDefaultScale exercises the paper's default workload scale:
+// n=1000 pages over h=8 groups, t=4..512.
+func TestBuildDefaultScale(t *testing.T) {
+	groups := make([]core.Group, 8)
+	tt := 4
+	for i := range groups {
+		groups[i] = core.Group{Time: tt, Count: 125}
+		tt *= 2
+	}
+	gs := core.MustGroupSet(groups)
+	prog, err := BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Channels() != 63 {
+		t.Errorf("channels = %d, want 63", prog.Channels())
+	}
+	if err := prog.Validate(); err != nil {
+		t.Errorf("program invalid: %v", err)
+	}
+}
+
+// TestOccupancyMatchesDemand: SUSC fills exactly sum_i P_i * t_h/t_i slots.
+func TestOccupancyMatchesDemand(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+	prog, err := BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*4 + 5*2 + 3*1
+	if prog.Filled() != want {
+		t.Errorf("Filled = %d, want %d", prog.Filled(), want)
+	}
+}
+
+func randomGroupSet(rng *rand.Rand) *core.GroupSet {
+	h := 1 + rng.Intn(5)
+	groups := make([]core.Group, h)
+	tt := 1 + rng.Intn(5)
+	for i := 0; i < h; i++ {
+		groups[i] = core.Group{Time: tt, Count: 1 + rng.Intn(30)}
+		tt *= 2 + rng.Intn(3)
+	}
+	return core.MustGroupSet(groups)
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tcsa/internal/core"
+)
+
+// Request is one client access: the client tunes in at Arrival (a
+// continuous instant within one broadcast cycle, in slots) and waits for
+// page Page.
+type Request struct {
+	Page    core.PageID
+	Arrival float64
+}
+
+// PageChoice selects how requests pick their page.
+type PageChoice int
+
+const (
+	// UniformPages matches the paper's model: every page equally likely
+	// (prob_access = 1/n).
+	UniformPages PageChoice = iota
+	// ZipfPages skews access toward low page IDs (i.e. tight expected
+	// times, since IDs are assigned in ascending t order) with parameter
+	// Theta; an extension for studying non-uniform popularity.
+	ZipfPages
+)
+
+// RequestConfig parameterises request generation.
+type RequestConfig struct {
+	// Count is the number of requests (the paper's default is 3000).
+	Count int
+	// Choice picks the page-selection model; default UniformPages.
+	Choice PageChoice
+	// Theta is the Zipf skew in (0, 1]; used only by ZipfPages. 0 defaults
+	// to 0.8.
+	Theta float64
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// GenerateRequests draws cfg.Count requests against an instance with n
+// pages and the given cycle length. Arrivals are uniform over the cycle,
+// matching the "client may start to listen at any time" model.
+func GenerateRequests(gs *core.GroupSet, cycleLen int, cfg RequestConfig) ([]Request, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("workload: negative request count %d", cfg.Count)
+	}
+	if cycleLen < 1 {
+		return nil, fmt.Errorf("workload: cycle length %d", cycleLen)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := gs.Pages()
+
+	var pick func() core.PageID
+	switch cfg.Choice {
+	case UniformPages:
+		pick = func() core.PageID { return core.PageID(rng.Intn(n)) }
+	case ZipfPages:
+		theta := cfg.Theta
+		if theta == 0 {
+			theta = 0.8
+		}
+		if theta < 0 || theta > 1 {
+			return nil, fmt.Errorf("workload: zipf theta %f outside (0,1]", theta)
+		}
+		cdf := zipfCDF(n, theta)
+		pick = func() core.PageID { return core.PageID(searchCDF(cdf, rng.Float64())) }
+	default:
+		return nil, fmt.Errorf("workload: unknown page choice %d", cfg.Choice)
+	}
+
+	reqs := make([]Request, cfg.Count)
+	for i := range reqs {
+		reqs[i] = Request{
+			Page:    pick(),
+			Arrival: rng.Float64() * float64(cycleLen),
+		}
+	}
+	return reqs, nil
+}
+
+// zipfCDF precomputes the cumulative distribution of a Zipf(theta) law over
+// ranks 1..n (probability of rank k proportional to 1/k^theta).
+func zipfCDF(n int, theta float64) []float64 {
+	cdf := make([]float64, n)
+	var sum float64
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), theta)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return cdf
+}
+
+// searchCDF returns the first index whose cumulative probability covers u.
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AccessProbabilities returns the per-page access probability vector the
+// request stream approximates, for use with Analysis.WeightedAvgDelay.
+func AccessProbabilities(gs *core.GroupSet, cfg RequestConfig) ([]float64, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	n := gs.Pages()
+	prob := make([]float64, n)
+	switch cfg.Choice {
+	case UniformPages:
+		for i := range prob {
+			prob[i] = 1 / float64(n)
+		}
+	case ZipfPages:
+		theta := cfg.Theta
+		if theta == 0 {
+			theta = 0.8
+		}
+		var sum float64
+		for k := 1; k <= n; k++ {
+			prob[k-1] = 1 / math.Pow(float64(k), theta)
+			sum += prob[k-1]
+		}
+		for i := range prob {
+			prob[i] /= sum
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown page choice %d", cfg.Choice)
+	}
+	return prob, nil
+}
+
+// PoissonConfig extends RequestConfig for arrival processes beyond the
+// single-cycle uniform default: a Poisson stream whose exponential
+// inter-arrival gaps accumulate from time 0, spanning as many broadcast
+// cycles as the rate and count imply.
+type PoissonConfig struct {
+	RequestConfig
+	// Rate is the mean number of arrivals per slot; must be > 0.
+	Rate float64
+}
+
+// GeneratePoissonRequests draws cfg.Count requests with Poisson arrivals
+// and the configured page-choice model. Arrival instants are absolute
+// simulation times (they exceed one cycle for long streams); consumers
+// treat the program as cyclic.
+func GeneratePoissonRequests(gs *core.GroupSet, cfg PoissonConfig) ([]Request, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("workload: negative request count %d", cfg.Count)
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("workload: poisson rate %f", cfg.Rate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := gs.Pages()
+	reqs := make([]Request, cfg.Count)
+	now := 0.0
+	for i := range reqs {
+		now += rng.ExpFloat64() / cfg.Rate
+		reqs[i] = Request{
+			Page:    core.PageID(rng.Intn(n)),
+			Arrival: now,
+		}
+	}
+	return reqs, nil
+}

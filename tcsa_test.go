@@ -1,0 +1,123 @@
+package tcsa
+
+import (
+	"errors"
+	"testing"
+)
+
+func figure2() *GroupSet {
+	gs, err := Geometric(2, 2, []int{3, 5, 3})
+	if err != nil {
+		panic(err)
+	}
+	return gs
+}
+
+func TestBuildSelectsSUSCWhenSufficient(t *testing.T) {
+	gs := figure2()
+	sched, err := Build(gs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Algorithm != AlgorithmSUSC {
+		t.Errorf("Algorithm = %s, want SUSC", sched.Algorithm)
+	}
+	if !sched.Valid() {
+		t.Error("SUSC schedule not valid")
+	}
+	if sched.ExpectedDelay != 0 {
+		t.Errorf("ExpectedDelay = %f, want 0", sched.ExpectedDelay)
+	}
+	if sched.MinChannels != 4 || sched.Channels != 4 {
+		t.Errorf("channels = %d/%d, want 4/4", sched.Channels, sched.MinChannels)
+	}
+	want := []int{4, 2, 1}
+	for i, w := range want {
+		if sched.Frequencies[i] != w {
+			t.Errorf("Frequencies = %v, want %v", sched.Frequencies, want)
+			break
+		}
+	}
+}
+
+func TestBuildSelectsPAMADWhenInsufficient(t *testing.T) {
+	gs := figure2()
+	sched, err := Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Algorithm != AlgorithmPAMAD {
+		t.Errorf("Algorithm = %s, want PAMAD", sched.Algorithm)
+	}
+	if sched.ExpectedDelay <= 0 {
+		t.Errorf("ExpectedDelay = %f, want > 0 under insufficiency", sched.ExpectedDelay)
+	}
+	if sched.ExpectedWait <= 0 {
+		t.Error("ExpectedWait not positive")
+	}
+	// Figure 2's derived frequencies.
+	want := []int{4, 2, 1}
+	for i, w := range want {
+		if sched.Frequencies[i] != w {
+			t.Errorf("Frequencies = %v, want %v", sched.Frequencies, want)
+			break
+		}
+	}
+	if sched.Program.Length() != 9 {
+		t.Errorf("cycle = %d, want 9", sched.Program.Length())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 3); !errors.Is(err, ErrInvalidGroupSet) {
+		t.Errorf("nil group set error = %v", err)
+	}
+	if _, err := Build(figure2(), 0); !errors.Is(err, ErrInsufficientChannels) {
+		t.Errorf("0 channels error = %v", err)
+	}
+}
+
+func TestRearrangePipeline(t *testing.T) {
+	r, err := Rearrange([]int{2, 3, 4, 6, 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Build(r.Set, MinChannels(r.Set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Algorithm != AlgorithmSUSC || !sched.Valid() {
+		t.Errorf("rearranged instance not scheduled validly: %+v", sched)
+	}
+	auto, err := RearrangeAuto([]int{2, 3, 4, 6, 9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Set.Pages() != 5 {
+		t.Errorf("auto rearrangement lost pages: %v", auto.Set)
+	}
+}
+
+func TestAnalyzeExposed(t *testing.T) {
+	sched, err := Build(figure2(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(sched.Program)
+	if a.AvgDelay() != sched.ExpectedDelay {
+		t.Error("Analyze disagrees with Build's ExpectedDelay")
+	}
+}
+
+func TestNewGroupSetExposed(t *testing.T) {
+	if _, err := NewGroupSet([]Group{{Time: 2, Count: 1}, {Time: 3, Count: 1}}); err == nil {
+		t.Error("invalid divisibility accepted")
+	}
+	gs, err := NewGroupSet([]Group{{Time: 2, Count: 1}, {Time: 8, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.MaxTime() != 8 {
+		t.Errorf("MaxTime = %d", gs.MaxTime())
+	}
+}
