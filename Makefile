@@ -1,0 +1,32 @@
+# Development entry points. `make check` runs the same pipeline CI does.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build vet airvet test race fuzz check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+airvet:
+	$(GO) run ./cmd/airvet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./cmd/...
+
+fuzz:
+	$(GO) test -fuzz='FuzzRearrange$$'         -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz='FuzzRearrangeMonotone$$' -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz='FuzzProgramJSON$$'       -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz='FuzzGroupSetJSON$$'      -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz='FuzzParseFrame$$'        -fuzztime=$(FUZZTIME) ./internal/netcast/
+	$(GO) test -fuzz='FuzzPAMADPlacement$$'    -fuzztime=$(FUZZTIME) ./internal/pamad/
+
+check:
+	FUZZTIME=$(FUZZTIME) scripts/check.sh

@@ -1,0 +1,76 @@
+// Command airvet runs this repository's static-analysis suite: six
+// type-aware analyzers (slotmath, checkerr, floateq, copylock,
+// exhaustenum, nopanic) that enforce the structural invariants behind the
+// paper's validity theorems. It is part of the scripts/check.sh gate and
+// must exit 0 on the repo at all times; see docs/airvet.md.
+//
+// Usage:
+//
+//	airvet [-list] [-only analyzer,...] [packages]
+//
+// Packages default to ./... resolved from the current directory. Exit
+// status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tcsa/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("airvet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: airvet [-list] [-only analyzer,...] [packages]")
+		fs.PrintDefaults()
+		fmt.Fprintln(errw, "\nanalyzers:")
+		for _, a := range lint.All() {
+			fmt.Fprintf(errw, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(errw, "airvet:", err)
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(errw, "airvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "airvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+	for _, name := range []string{"slotmath", "checkerr", "floateq", "copylock", "exhaustenum", "nopanic"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-only", "nosuchcheck"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "nosuchcheck") {
+		t.Errorf("stderr %q does not name the bad analyzer", errw.String())
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	var out, errw strings.Builder
+	if code := run([]string{"tcsa/internal/core"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d on internal/core\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if out.String() != "" {
+		t.Errorf("unexpected findings: %s", out.String())
+	}
+}

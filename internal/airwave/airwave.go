@@ -78,7 +78,7 @@ func (m *Medium) PageAt(ch, abs int) core.PageID {
 	if ch < 0 || ch >= m.prog.Channels() || abs < 0 {
 		return core.None
 	}
-	return m.prog.At(ch, abs%m.prog.Length())
+	return m.prog.AtAbs(ch, abs)
 }
 
 // Start begins transmitting at the next integer slot boundary (time
@@ -108,7 +108,7 @@ func (m *Medium) Stop() { m.stopped = true }
 // snapshotted at slot start: a single-frequency receiver that retunes while
 // handling a frame hears the new channel only from the next slot on.
 func (m *Medium) transmit() {
-	col := m.slot % m.prog.Length()
+	col := m.prog.Column(m.slot)
 	if cap(m.tuned) < len(m.tuners) {
 		m.tuned = make([]int, len(m.tuners))
 	}

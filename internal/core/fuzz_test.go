@@ -39,6 +39,59 @@ func FuzzRearrange(f *testing.F) {
 	})
 }
 
+// FuzzRearrangeMonotone checks the Section 2 tightening contract on wider
+// instances than FuzzRearrange: rearranged times never exceed their
+// originals, the input order of times is preserved in the output, every
+// assigned page ID carries the rearranged time, and the mapping is
+// idempotent (tightened times already sit on the geometric grid, so a
+// second pass is the identity).
+func FuzzRearrangeMonotone(f *testing.F) {
+	f.Add([]byte{2, 3, 4, 6, 9}, 2) // the paper's Section 2 example
+	f.Add([]byte{1, 1, 255}, 3)
+	f.Add([]byte{10}, 9)
+	f.Add([]byte{7, 0, 7}, 2) // contains an invalid zero time
+	f.Fuzz(func(t *testing.T, raw []byte, ratio int) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		times := make([]int, len(raw))
+		for i, b := range raw {
+			times[i] = int(b)
+		}
+		r, err := Rearrange(times, ratio)
+		if err != nil {
+			return // invalid input rejected: fine
+		}
+		for i, orig := range times {
+			nt := r.NewTimes[i]
+			if nt < 1 || nt > orig {
+				t.Fatalf("times %v ratio %d: new time %d out of (0, %d]", times, ratio, nt, orig)
+			}
+			if got := r.Set.TimeOf(r.IDs[i]); got != nt {
+				t.Fatalf("times %v ratio %d: page %d has group time %d, NewTimes %d",
+					times, ratio, r.IDs[i], got, nt)
+			}
+		}
+		for i := range times {
+			for j := range times {
+				if times[i] <= times[j] && r.NewTimes[i] > r.NewTimes[j] {
+					t.Fatalf("times %v ratio %d: order broken at %d,%d: %v",
+						times, ratio, i, j, r.NewTimes)
+				}
+			}
+		}
+		again, err := Rearrange(r.NewTimes, ratio)
+		if err != nil {
+			t.Fatalf("re-rearranging %v: %v", r.NewTimes, err)
+		}
+		for i, nt := range r.NewTimes {
+			if again.NewTimes[i] != nt {
+				t.Fatalf("not idempotent: %v -> %v", r.NewTimes, again.NewTimes)
+			}
+		}
+	})
+}
+
 // validateChain re-checks the divisibility chain independently of
 // NewGroupSet's own validation.
 func validateChain(gs *GroupSet) error {

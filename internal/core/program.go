@@ -64,6 +64,35 @@ func (p *Program) At(ch, slot int) PageID {
 	return p.grid[ch*p.length+slot]
 }
 
+// Column maps an absolute (possibly multi-cycle) slot index onto the
+// program's cyclic column in [0, Length()). Negative indexes wrap
+// backwards, so Column(-1) is the last column of the cycle. Callers must
+// use this instead of raw % arithmetic on Length() (enforced by the
+// airvet slotmath analyzer).
+func (p *Program) Column(abs int) int {
+	col := abs % p.length
+	if col < 0 {
+		col += p.length
+	}
+	return col
+}
+
+// AtAbs returns the page broadcast on channel ch at absolute slot abs of
+// the infinitely repeating program: At(ch, Column(abs)).
+func (p *Program) AtAbs(ch, abs int) PageID {
+	return p.At(ch, p.Column(abs))
+}
+
+// WrapChannel maps an arbitrary channel index onto [0, Channels()),
+// wrapping cyclically in both directions (channel-sweep arithmetic).
+func (p *Program) WrapChannel(ch int) int {
+	c := ch % p.channels
+	if c < 0 {
+		c += p.channels
+	}
+	return c
+}
+
 // InRange reports whether (ch, slot) addresses a grid cell.
 func (p *Program) InRange(ch, slot int) bool {
 	return ch >= 0 && ch < p.channels && slot >= 0 && slot < p.length

@@ -223,3 +223,28 @@ func mustPlaceAll(p *Program, triples [][3]int) {
 		}
 	}
 }
+
+func TestProgramWrapAccessors(t *testing.T) {
+	p, _ := NewProgram(fig2GroupSet(), 3, 4)
+	mustPlace(t, p, 1, 3, 5)
+	cases := []struct{ abs, col int }{
+		{0, 0}, {3, 3}, {4, 0}, {7, 3}, {11, 3}, {-1, 3}, {-4, 0}, {-5, 3},
+	}
+	for _, c := range cases {
+		if got := p.Column(c.abs); got != c.col {
+			t.Errorf("Column(%d) = %d, want %d", c.abs, got, c.col)
+		}
+	}
+	if got := p.AtAbs(1, 7); got != 5 {
+		t.Errorf("AtAbs(1, 7) = %d, want 5", got)
+	}
+	if got := p.AtAbs(1, -1); got != 5 {
+		t.Errorf("AtAbs(1, -1) = %d, want 5", got)
+	}
+	chCases := []struct{ ch, want int }{{0, 0}, {2, 2}, {3, 0}, {7, 1}, {-1, 2}}
+	for _, c := range chCases {
+		if got := p.WrapChannel(c.ch); got != c.want {
+			t.Errorf("WrapChannel(%d) = %d, want %d", c.ch, got, c.want)
+		}
+	}
+}

@@ -87,6 +87,6 @@ func RenderBaselines(dist fmt.Stringer, pts []BaselinePoint) string {
 		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.2f\t%.2f\t\n",
 			pt.Channels, pt.PAMADDelay, pt.FlatDelay, pt.PAMADWait, pt.FlatWait)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }

@@ -85,6 +85,6 @@ func RenderFairness(dist fmt.Stringer, pts []FairnessPoint) string {
 		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t\n",
 			pt.Channels, pt.PAMADFairness, pt.MPBFairness, pt.PAMADDelay, pt.MPBDelay)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }

@@ -18,7 +18,7 @@ func (s *Fig5Series) Table() string {
 		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t\n",
 			pt.Channels, pt.PAMAD, pt.MPB, pt.OPT, pt.PAMADExact, pt.MPBExact, pt.OPTExact)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }
 
@@ -52,7 +52,7 @@ func RenderFigure3(rows []Fig3Row) string {
 		}
 		fmt.Fprintln(w)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }
 
@@ -72,7 +72,7 @@ func RenderFigure4(p Params) string {
 	fmt.Fprintf(w, "t_i - expected time\t%s\n", strings.Join(times, ", "))
 	fmt.Fprintf(w, "group size distributions\t{normal, L-skewed, S-skewed, uniform}\n")
 	fmt.Fprintf(w, "number of requests\t%d\n", p.Requests)
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }
 
@@ -86,7 +86,7 @@ func RenderKnee(results []*KneeResult) string {
 		fmt.Fprintf(w, "%v\t%d\t%.2f\t%d\t%d\t%.3f\t\n",
 			r.Dist, r.MinChannels, r.DelayAtOne, r.Knee, r.FifthOfMin, r.DelayAtFifth)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }
 
@@ -100,7 +100,7 @@ func RenderTieBreak(dist fmt.Stringer, pts []TiePoint) string {
 		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t\n",
 			pt.Channels, pt.TowardRatio, pt.SmallestR, pt.TowardModel, pt.SmallestModel)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }
 
@@ -114,7 +114,7 @@ func RenderModelCheck(dist fmt.Stringer, pts []ModelPoint) string {
 		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\t%.3f\t\n",
 			pt.Channels, pt.Heuristic, pt.Ideal, pt.Exact, pt.Measured)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }
 
@@ -128,6 +128,6 @@ func RenderOptGap(gaps []*OptGap) string {
 		fmt.Fprintf(w, "%v\t%.4f\t%.4f\t%.1f%%\t%d\t\n",
 			g.Dist, g.MaxAbsGap, g.MeanAbsGap, 100*g.MaxRelGap, g.WorstChannel)
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
 	return b.String()
 }

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckErr flags call statements that silently discard an error result:
+// core.NewGroupSet, core.NewProgram, core.Rearrange, tcsa.Build and every
+// other error-returning function in or out of the module. An unchecked
+// constructor error means the scheduler runs on an unvalidated instance,
+// which silently voids the paper's validity theorems. Discarding must be
+// explicit: assign to _ (or handle the error).
+//
+// Exemptions, because they cannot usefully fail: the fmt print family and
+// methods on strings.Builder / bytes.Buffer (both documented never to
+// return a non-nil error).
+var CheckErr = &Analyzer{
+	Name: "checkerr",
+	Doc:  "call statements that silently discard an error result",
+	Run:  runCheckErr,
+}
+
+func runCheckErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass.Info, call) || exemptFromCheckErr(pass.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or assign it to _ explicitly", calleeName(pass.Info, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// exemptFromCheckErr allows the never-fail writers: the fmt print family
+// and strings.Builder / bytes.Buffer methods.
+func exemptFromCheckErr(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		// Builtins and type conversions never surface errors implicitly.
+		return true
+	}
+	if obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Print") {
+		return true
+	}
+	if obj.Pkg().Path() == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
+		return true
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if isNamed(sig.Recv().Type(), "strings", "Builder") || isNamed(sig.Recv().Type(), "bytes", "Buffer") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the called function or method object, nil for
+// indirect calls through arbitrary expressions.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+}
+
+// calleeName renders a readable name for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return "call"
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	if obj.Pkg() != nil && obj.Pkg().Name() != "" {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLock flags sync.Mutex, sync.RWMutex, sync.WaitGroup (and friends)
+// copied by value: value receivers, by-value parameters and results, plain
+// assignments from an existing value, and range clauses that copy elements.
+// The concurrent netcast servers and the opt worker pool both guard state
+// with such locks; a copied lock guards nothing. This mirrors go vet's
+// copylocks check so the invariant is enforced by airvet's single gate too.
+var CopyLock = &Analyzer{
+	Name: "copylock",
+	Doc:  "sync.Mutex/WaitGroup and friends copied by value",
+	Run:  runCopyLock,
+}
+
+// lockTypes are the sync types that must never be copied after first use.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runCopyLock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					checkFieldList(pass, node.Recv, "receiver")
+				}
+				checkFieldList(pass, node.Type.Params, "parameter")
+				checkFieldList(pass, node.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(pass, node.Type.Params, "parameter")
+				checkFieldList(pass, node.Type.Results, "result")
+			case *ast.AssignStmt:
+				if len(node.Lhs) != len(node.Rhs) {
+					return true
+				}
+				for _, rhs := range node.Rhs {
+					if !copiesValue(rhs) {
+						continue
+					}
+					if name := lockIn(pass.Info.TypeOf(rhs)); name != "" {
+						pass.Reportf(rhs.Pos(), "assignment copies a value containing sync.%s; use a pointer", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value == nil {
+					return true
+				}
+				if name := lockIn(pass.Info.TypeOf(node.Value)); name != "" {
+					pass.Reportf(node.Value.Pos(), "range clause copies a value containing sync.%s per iteration; range over indexes or pointers", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList reports fields whose by-value type contains a lock.
+func checkFieldList(pass *Pass, fields *ast.FieldList, role string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if name := lockIn(t); name != "" {
+			pass.Reportf(field.Pos(), "%s passes a value containing sync.%s by value; use a pointer", role, name)
+		}
+	}
+}
+
+// copiesValue reports whether evaluating rhs copies an existing value (as
+// opposed to binding a freshly constructed one, which is the only legal
+// moment to move a lock).
+func copiesValue(rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lockIn returns the name of the first sync lock type contained by value
+// in t, or "".
+func lockIn(t types.Type) string {
+	return lockInSeen(t, map[types.Type]bool{})
+}
+
+func lockInSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return obj.Name()
+		}
+		return lockInSeen(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInSeen(u.Elem(), seen)
+	}
+	return ""
+}

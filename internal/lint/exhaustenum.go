@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustEnum flags a switch over a module-local enum type (a named
+// integer or string type with at least two package-level constants, like
+// tcsa.Algorithm or workload.Distribution) that neither covers every
+// declared constant nor has a default case. Adding a third Algorithm
+// without touching every switch must fail the gate, not silently fall
+// through.
+var ExhaustEnum = &Analyzer{
+	Name: "exhaustenum",
+	Doc:  "non-exhaustive switch over a module-local enum without a default",
+	Run:  runExhaustEnum,
+}
+
+func runExhaustEnum(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, ok := pass.Info.TypeOf(sw.Tag).(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !inModule(obj.Pkg().Path(), pass.Module) {
+				return true
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+				return true
+			}
+			consts := enumConstants(obj.Pkg(), named)
+			if len(consts) < 2 {
+				return true
+			}
+			covered := map[string]bool{}
+			for _, stmt := range sw.Body.List {
+				clause, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if clause.List == nil {
+					return true // default case: exhaustive by construction
+				}
+				for _, expr := range clause.List {
+					if v := pass.Info.Types[expr].Value; v != nil {
+						covered[v.ExactString()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s.%s misses %s; cover every constant or add a default",
+					obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// inModule reports whether pkgPath lies inside the module being analyzed.
+func inModule(pkgPath, module string) bool {
+	return module != "" && (pkgPath == module || strings.HasPrefix(pkgPath, module+"/"))
+}
+
+// enumConstants returns the package-level constants declared with exactly
+// type named, sorted by value for stable diagnostics. Distinct constant
+// names sharing a value (aliases) collapse to one entry.
+func enumConstants(pkg *types.Package, named *types.Named) []*types.Const {
+	scope := pkg.Scope()
+	byValue := map[string]*types.Const{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if prev, ok := byValue[key]; !ok || c.Name() < prev.Name() {
+			byValue[key] = c
+		}
+	}
+	consts := make([]*types.Const, 0, len(byValue))
+	for _, c := range byValue {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		a, b := consts[i].Val(), consts[j].Val()
+		if a.Kind() == constant.Int && b.Kind() == constant.Int {
+			return constant.Compare(a, token.LSS, b)
+		}
+		return a.ExactString() < b.ExactString()
+	})
+	return consts
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqPackages are the delay-math packages where exact float comparison
+// is a correctness hazard: they implement the paper's Eq. 2/3/5/7 and the
+// estimators built on them, where two mathematically equal delays can
+// differ in the last ulp depending on summation order.
+var floatEqPackages = map[string]bool{
+	"tcsa/internal/delaymodel": true,
+	"tcsa/internal/estimator":  true,
+	"tcsa/internal/stats":      true,
+	"tcsa/internal/pamad":      true,
+}
+
+// FloatEq flags == and != between floating-point expressions in the delay
+// math packages. Compare against a tolerance instead, or suppress with a
+// justification when the operands provably come from the identical
+// computation (see the PAMAD tie-break for the canonical example).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "== / != between float64 expressions in the delay-math packages",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if !floatEqPackages[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.Info.TypeOf(bin.X)) && isFloat(pass.Info.TypeOf(bin.Y)) {
+				pass.Reportf(bin.Pos(), "floating-point %s comparison in delay math (Eq. 2/3/5/7); compare with a tolerance", bin.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

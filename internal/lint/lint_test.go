@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// corpusPaths assigns each corpus the package path it is loaded under.
+// floateq only fires inside the delay-math packages, so its corpus
+// masquerades as one of them.
+var corpusPaths = map[string]string{
+	"slotmath":    "tcsa/internal/lint/testdata/slotmath",
+	"checkerr":    "tcsa/internal/lint/testdata/checkerr",
+	"floateq":     "tcsa/internal/delaymodel",
+	"copylock":    "tcsa/internal/lint/testdata/copylock",
+	"exhaustenum": "tcsa/internal/lint/testdata/exhaustenum",
+	"nopanic":     "tcsa/internal/lint/testdata/nopanic",
+}
+
+// TestAnalyzerCorpora checks every analyzer against its testdata corpus:
+// each `// want "substring"` line must produce a matching finding, and no
+// unmarked line may produce one.
+func TestAnalyzerCorpora(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			pkg, err := loadDir(dir, corpusPaths[a.Name])
+			if err != nil {
+				t.Fatalf("loading corpus: %v", err)
+			}
+			got := analyze(pkg, []*Analyzer{a})
+			sortDiagnostics(got)
+			wants := parseWants(t, dir)
+			used := map[string]bool{}
+			for _, d := range got {
+				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+				substr, ok := wants[key]
+				if !ok {
+					t.Errorf("unexpected finding: %s", d)
+					continue
+				}
+				if !strings.Contains(d.Message, substr) {
+					t.Errorf("finding at %s = %q, want substring %q", key, d.Message, substr)
+				}
+				used[key] = true
+			}
+			for key, substr := range wants {
+				if !used[key] {
+					t.Errorf("missing finding at %s (want %q)", key, substr)
+				}
+			}
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// parseWants extracts `// want "..."` markers keyed by file:line.
+func parseWants(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	wants := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				wants[fmt.Sprintf("%s:%d", path, i+1)] = m[1]
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("corpus %s has no want markers", dir)
+	}
+	return wants
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName("slotmath, nopanic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "slotmath" || got[1].Name != "nopanic" {
+		t.Errorf("ByName = %v", got)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Error("unknown analyzer accepted")
+	}
+	if _, err := ByName(" , "); err == nil {
+		t.Error("empty selection accepted")
+	}
+}
+
+// TestIgnoreDirectives exercises the suppression scanner directly: same
+// line and line-above placement, unrelated analyzers, and the malformed
+// (justification-free) form.
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:ignore demo same-line placement
+	//lint:ignore demo,other line-above placement
+	_ = 2
+	//lint:ignore demo
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, malformed := collectIgnores(fset, []*ast.File{file})
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "malformed") {
+		t.Fatalf("malformed = %v", malformed)
+	}
+	cases := []struct {
+		line     int
+		analyzer string
+		covered  bool
+	}{
+		{4, "demo", true},
+		{6, "demo", true},
+		{6, "other", true},
+		{6, "slotmath", false},
+		{8, "demo", false}, // malformed directive suppresses nothing
+	}
+	for _, c := range cases {
+		d := Diagnostic{Analyzer: c.analyzer, Pos: token.Position{Filename: "p.go", Line: c.line}}
+		if got := set.covers(d); got != c.covered {
+			t.Errorf("covers(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.covered)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic flags panic calls in library (non-main, non-test) packages.
+// Library code reports failures through the core sentinel errors so
+// callers can degrade (fall back to PAMAD, reject a request) instead of
+// crashing a broadcast server. The one documented exception is the Must*
+// constructor pattern (core.MustGroupSet), whose entire contract is
+// "panics on invalid input, for tests and static tables".
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "panic in library code outside Must* invariant helpers",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if builtin, ok := pass.Info.Uses[id].(*types.Builtin); ok && builtin.Name() == "panic" {
+					pass.Reportf(call.Pos(), "panic in library code; return an error wrapping a core sentinel, or move the invariant into a Must* helper")
+				}
+				return true
+			})
+		}
+	}
+}

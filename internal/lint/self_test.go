@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+// TestAirvetSelfCheck enforces the suite's core contract: `airvet ./...`
+// runs clean on this repository. Any new violation — raw slot arithmetic,
+// a dropped constructor error, a float equality in the delay math — fails
+// this test (and the scripts/check.sh gate) until fixed or explicitly
+// suppressed with a justified //lint:ignore.
+func TestAirvetSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check shells out to the go tool for export data")
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

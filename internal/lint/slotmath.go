@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// corePath is the only package allowed to do raw slot arithmetic.
+const corePath = "tcsa/internal/core"
+
+// SlotMath flags raw % arithmetic on Program.Length()/Channels() outside
+// internal/core. Cyclic slot and channel indexes must go through the
+// Program.Column, Program.AtAbs and Program.WrapChannel accessors, which
+// also handle negative indexes; scattering modulo arithmetic over callers
+// is how off-by-one wrap bugs sneak past the Theorem 3.1 validity checks.
+var SlotMath = &Analyzer{
+	Name: "slotmath",
+	Doc:  "raw % arithmetic on Program.Length()/Channels() outside internal/core",
+	Run:  runSlotMath,
+}
+
+func runSlotMath(pass *Pass) {
+	if pass.Pkg.Path() == corePath {
+		return
+	}
+	for _, f := range pass.Files {
+		// First pass: track locals bound directly to a wrap source, e.g.
+		// L := prog.Length(), so `x % L` is caught too.
+		tracked := map[types.Object]string{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				method := wrapSource(pass.Info, rhs)
+				if method == "" {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.Info.Defs[id]; obj != nil {
+					tracked[obj] = method
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					tracked[obj] = method
+				}
+			}
+			return true
+		})
+
+		report := func(pos token.Pos, method string) {
+			pass.Reportf(pos, "raw %% arithmetic on Program.%s(); use Program.Column/AtAbs/WrapChannel (slot math belongs to internal/core)", method)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.REM {
+					return true
+				}
+				if m := wrapOperand(pass.Info, tracked, e.X); m != "" {
+					report(e.Pos(), m)
+				} else if m := wrapOperand(pass.Info, tracked, e.Y); m != "" {
+					report(e.Pos(), m)
+				}
+			case *ast.AssignStmt:
+				if e.Tok != token.REM_ASSIGN || len(e.Rhs) != 1 {
+					return true
+				}
+				if m := wrapOperand(pass.Info, tracked, e.Rhs[0]); m != "" {
+					report(e.Pos(), m)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wrapOperand reports the Program method name behind expr when expr is a
+// wrap source: a direct Length/Channels call or a local bound to one.
+func wrapOperand(info *types.Info, tracked map[types.Object]string, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	if m := wrapSource(info, expr); m != "" {
+		return m
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return tracked[obj]
+		}
+	}
+	return ""
+}
+
+// wrapSource reports whether expr is a call to (*core.Program).Length or
+// (*core.Program).Channels, returning the method name.
+func wrapSource(info *types.Info, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	name := selection.Obj().Name()
+	if name != "Length" && name != "Channels" {
+		return ""
+	}
+	if !isNamed(selection.Recv(), corePath, "Program") {
+		return ""
+	}
+	return name
+}
+
+// isNamed reports whether t (or its pointee) is the named type
+// pkgPath.typeName.
+func isNamed(t types.Type, pkgPath, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}

@@ -1,0 +1,47 @@
+// Package checkerr is the airvet checkerr corpus: error results must be
+// handled or explicitly assigned to the blank identifier.
+package checkerr
+
+import (
+	"fmt"
+	"strings"
+
+	"tcsa/internal/core"
+)
+
+func drops(groups []core.Group) {
+	core.NewGroupSet(groups) // want "error result of core.NewGroupSet is silently discarded"
+}
+
+func dropsMethod(p *core.Program) {
+	p.Validate() // want "error result of Program.Validate is silently discarded"
+}
+
+func dropsRearrange(times []int) {
+	core.Rearrange(times, 2) // want "error result of core.Rearrange is silently discarded"
+}
+
+func handles(groups []core.Group) (*core.GroupSet, error) {
+	gs, err := core.NewGroupSet(groups)
+	if err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+func explicitDiscard(p *core.Program) {
+	_ = p.Validate()
+}
+
+func exemptWriters(p *core.Program) string {
+	fmt.Println("filled:", p.Filled())
+	var b strings.Builder
+	b.WriteString("cells: ")
+	fmt.Fprintf(&b, "%d", p.Filled())
+	return b.String()
+}
+
+func suppressed(p *core.Program) {
+	//lint:ignore checkerr corpus demonstrates the escape hatch
+	p.Validate()
+}

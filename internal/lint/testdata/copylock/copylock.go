@@ -1,0 +1,59 @@
+// Package copylock is the airvet copylock corpus: sync primitives must
+// never be copied after first use.
+package copylock
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(mu sync.Mutex) { // want "parameter passes a value containing sync.Mutex"
+	mu.Lock()
+}
+
+func byValueResult() (wg sync.WaitGroup) { // want "result passes a value containing sync.WaitGroup"
+	return
+}
+
+func (g guarded) byValueReceiver() int { // want "receiver passes a value containing sync.Mutex"
+	return g.n
+}
+
+func copiesStruct(g *guarded) int {
+	cp := *g // want "assignment copies a value containing sync.Mutex"
+	return cp.n
+}
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies a value containing sync.Mutex"
+		total += g.n
+	}
+	return total
+}
+
+func pointerParam(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func (g *guarded) pointerReceiver() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func freshValue() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Package exhaustenum is the airvet exhaustenum corpus: switches over
+// module-local enums must cover every constant or declare a default.
+package exhaustenum
+
+// Phase is an integer enum with three constants.
+type Phase int
+
+const (
+	Warmup Phase = iota
+	Steady
+	Drain
+)
+
+// Kind is a string enum, like tcsa.Algorithm.
+type Kind string
+
+const (
+	KindSUSC  Kind = "SUSC"
+	KindPAMAD Kind = "PAMAD"
+)
+
+func missing(p Phase) string {
+	switch p { // want "switch over exhaustenum.Phase misses Drain"
+	case Warmup:
+		return "warmup"
+	case Steady:
+		return "steady"
+	}
+	return ""
+}
+
+func missingString(k Kind) int {
+	switch k { // want "switch over exhaustenum.Kind misses KindPAMAD"
+	case KindSUSC:
+		return 1
+	}
+	return 0
+}
+
+func covered(p Phase) string {
+	switch p {
+	case Warmup:
+		return "warmup"
+	case Steady:
+		return "steady"
+	case Drain:
+		return "drain"
+	}
+	return ""
+}
+
+func defaulted(p Phase) string {
+	switch p {
+	case Warmup:
+		return "warmup"
+	default:
+		return "running"
+	}
+}
+
+func plainIntIsFine(x int) string {
+	switch x {
+	case 1:
+		return "one"
+	}
+	return "many"
+}

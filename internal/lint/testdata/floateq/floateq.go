@@ -1,0 +1,43 @@
+// Package floateq is the airvet floateq corpus. The corpus is loaded
+// under a delay-math package path, where exact float comparison is
+// forbidden.
+package floateq
+
+// Delay is a named float; the underlying kind is what matters.
+type Delay float64
+
+func equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func notZero(d float64) bool {
+	return d != 0 // want "floating-point != comparison"
+}
+
+func namedEqual(a, b Delay) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func withinTolerance(a, b float64) bool {
+	return absDiff(a, b) < 1e-9
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func orderingIsFine(a, b float64) bool {
+	return a < b
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floateq corpus demonstrates the escape hatch
+	return a == b
+}

@@ -1,0 +1,44 @@
+// Package nopanic is the airvet nopanic corpus: library code returns
+// errors; only Must* invariant helpers may panic.
+package nopanic
+
+import "errors"
+
+var errNegative = errors.New("nopanic: negative input")
+
+func bad(x int) int {
+	if x < 0 {
+		panic("negative input") // want "panic in library code"
+	}
+	return x
+}
+
+func badInClosure(xs []int) func() {
+	return func() {
+		if len(xs) == 0 {
+			panic(errNegative) // want "panic in library code"
+		}
+	}
+}
+
+func MustPositive(x int) int {
+	if x < 0 {
+		panic(errNegative)
+	}
+	return x
+}
+
+func good(x int) (int, error) {
+	if x < 0 {
+		return 0, errNegative
+	}
+	return x, nil
+}
+
+func suppressed(x int) int {
+	if x < 0 {
+		//lint:ignore nopanic corpus demonstrates the escape hatch
+		panic("unreachable: callers validate x")
+	}
+	return x
+}

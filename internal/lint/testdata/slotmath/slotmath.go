@@ -1,0 +1,43 @@
+// Package slotmath is the airvet slotmath corpus: raw cyclic-index
+// arithmetic on Program dimensions must go through the core accessors.
+package slotmath
+
+import "tcsa/internal/core"
+
+func direct(p *core.Program, abs int) int {
+	return abs % p.Length() // want "raw % arithmetic on Program.Length()"
+}
+
+func viaLocal(p *core.Program, abs int) int {
+	L := p.Length()
+	return abs % L // want "raw % arithmetic on Program.Length()"
+}
+
+func remAssign(p *core.Program, col int) int {
+	col %= p.Length() // want "raw % arithmetic on Program.Length()"
+	return col
+}
+
+func channelSweep(p *core.Program, ch int) int {
+	return (ch + 1) % p.Channels() // want "raw % arithmetic on Program.Channels()"
+}
+
+func accessors(p *core.Program, abs, ch int) (int, int) {
+	return p.Column(abs), p.WrapChannel(ch)
+}
+
+func unrelatedModulo(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return a % b
+}
+
+func lengthWithoutModulo(p *core.Program) int {
+	return p.Length() * p.Channels()
+}
+
+func suppressed(p *core.Program, abs int) int {
+	//lint:ignore slotmath corpus demonstrates the escape hatch
+	return abs % p.Length()
+}

@@ -151,7 +151,7 @@ func (s *Schedule) Locate(page core.PageID, fromSlot int) (channel, slot int, ok
 	L := s.Program.Length()
 	for step := 0; step < L; step++ {
 		abs := fromSlot + step
-		col := abs % L
+		col := s.Program.Column(abs)
 		for ch := 0; ch < s.Program.Channels(); ch++ {
 			if s.Program.At(ch, col) == page {
 				return ch, abs, true

@@ -187,7 +187,7 @@ func (s *Server) transmit() {
 	}
 	s.mu.Unlock()
 
-	col := int(slot) % s.prog.Length()
+	col := s.prog.Column(int(slot))
 	buf := make([]byte, 0, FrameSize)
 	for ch := range s.conns {
 		f := Frame{Channel: ch, Slot: slot, Page: s.prog.At(ch, col)}

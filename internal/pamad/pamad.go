@@ -114,6 +114,11 @@ func FrequenciesOpt(gs *core.GroupSet, nReal int, opts Options) (delaymodel.Freq
 			d := delaymodel.StageDelay(gs, s, i, nReal)
 			st.Candidates = append(st.Candidates, Candidate{R: cand, Delay: d})
 			better := best < 0 || d < best
+			// Tie detection is deliberately exact: tying candidates (in
+			// practice those on the D'_i = 0 plateau) produce bit-identical
+			// StageDelay values, and an epsilon would merge genuinely
+			// distinct optima.
+			//lint:ignore floateq exact tie detection on bit-identical StageDelay values
 			if !better && d == best && opts.TieBreak == TieTowardRatio {
 				better = closerTo(cand, st.Chosen, ci)
 			}
@@ -121,6 +126,7 @@ func FrequenciesOpt(gs *core.GroupSet, nReal int, opts Options) (delaymodel.Freq
 				best = d
 				st.Chosen = cand
 			}
+			//lint:ignore floateq the zero plateau is exact: StageDelay returns a literal 0 when every gap fits
 			if d == 0 && (opts.TieBreak == TieSmallestR || cand >= ci) {
 				// Beyond this point larger r cannot be strictly better: the
 				// stage delay is already zero and (for the ratio tie-break)

@@ -164,7 +164,7 @@ func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Outcome, err
 			case Scanning:
 				// Sweep: stay one full cycle per channel, then advance.
 				c.heard++
-				next := (int(c.want) + c.heard/prog.Length()) % prog.Channels()
+				next := prog.WrapChannel(int(c.want) + c.heard/prog.Length())
 				if next != f.Channel {
 					trace(EventTune, c, simulator.Now(), next)
 				}
@@ -188,7 +188,7 @@ func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Outcome, err
 			trace(EventArrive, c, simulator.Now(), -1)
 			switch cfg.Mode {
 			case Scanning:
-				_ = c.tuner.TuneTo(int(c.want) % prog.Channels())
+				_ = c.tuner.TuneTo(prog.WrapChannel(int(c.want)))
 			case ScheduleAware:
 				retuneToNext(medium, a, c, simulator.Now())
 			}
@@ -237,8 +237,7 @@ func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Outcome, err
 func retuneToNext(medium *airwave.Medium, a *core.Analysis, c *client, from float64) {
 	prog := medium.Program()
 	wait := a.NextAfter(c.want, mod(from, float64(prog.Length())))
-	col := int(mod(from, float64(prog.Length())) + wait + 0.5)
-	col %= prog.Length()
+	col := prog.Column(int(mod(from, float64(prog.Length())) + wait + 0.5))
 	for ch := 0; ch < prog.Channels(); ch++ {
 		if prog.At(ch, col) == c.want {
 			_ = c.tuner.TuneTo(ch)

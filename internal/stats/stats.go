@@ -249,6 +249,7 @@ func JainIndex(xs []float64) float64 {
 		sum += x
 		sumSq += x * x
 	}
+	//lint:ignore floateq exact zero guard: a sum of squares is 0 only when every sample is 0
 	if sumSq == 0 {
 		return 1
 	}

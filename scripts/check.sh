@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# check.sh — the full verification pipeline, used locally (`make check`)
+# and by CI. Fails fast on the first broken gate.
+#
+# FUZZTIME (default 10s) bounds each fuzz smoke run; set FUZZTIME=0 to
+# skip the fuzz stage entirely (e.g. on very slow machines).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> airvet ./..."
+go run ./cmd/airvet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/netcast/... ./internal/opt/... ./cmd/...
+
+if [ "$FUZZTIME" = "0" ]; then
+    echo "==> fuzz smoke skipped (FUZZTIME=0)"
+else
+    echo "==> fuzz smoke (${FUZZTIME} per target)"
+    go test -fuzz=FuzzRearrange'$'          -fuzztime="$FUZZTIME" ./internal/core/
+    go test -fuzz=FuzzRearrangeMonotone'$'  -fuzztime="$FUZZTIME" ./internal/core/
+    go test -fuzz=FuzzProgramJSON'$'        -fuzztime="$FUZZTIME" ./internal/core/
+    go test -fuzz=FuzzGroupSetJSON'$'       -fuzztime="$FUZZTIME" ./internal/core/
+    go test -fuzz=FuzzParseFrame'$'         -fuzztime="$FUZZTIME" ./internal/netcast/
+    go test -fuzz=FuzzPAMADPlacement'$'     -fuzztime="$FUZZTIME" ./internal/pamad/
+fi
+
+echo "==> all checks passed"

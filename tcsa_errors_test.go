@@ -1,0 +1,81 @@
+package tcsa
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// sentinels lists every sentinel error re-exported in tcsa.go.
+var sentinels = map[string]error{
+	"ErrInvalidGroupSet":      ErrInvalidGroupSet,
+	"ErrInsufficientChannels": ErrInsufficientChannels,
+	"ErrInvalidProgram":       ErrInvalidProgram,
+}
+
+// TestSentinelWrapAwareness round-trips each re-exported sentinel through
+// fmt.Errorf("%w") chains: errors.Is must see through single and double
+// wrapping, and must never match a different sentinel.
+func TestSentinelWrapAwareness(t *testing.T) {
+	for name, sentinel := range sentinels {
+		wrapped := fmt.Errorf("context: %w", sentinel)
+		double := fmt.Errorf("outer: %w", wrapped)
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("errors.Is(wrap(%s), %s) = false", name, name)
+		}
+		if !errors.Is(double, sentinel) {
+			t.Errorf("errors.Is(wrap(wrap(%s)), %s) = false", name, name)
+		}
+		for otherName, other := range sentinels {
+			if otherName != name && errors.Is(double, other) {
+				t.Errorf("errors.Is(wrap(wrap(%s)), %s) = true", name, otherName)
+			}
+		}
+	}
+}
+
+// TestSentinelIdentity pins each re-export to its internal/core original:
+// a wrap produced inside the module must satisfy errors.Is against the
+// public alias, and vice versa.
+func TestSentinelIdentity(t *testing.T) {
+	pairs := []struct {
+		name     string
+		public   error
+		internal error
+	}{
+		{"ErrInvalidGroupSet", ErrInvalidGroupSet, core.ErrInvalidGroupSet},
+		{"ErrInsufficientChannels", ErrInsufficientChannels, core.ErrInsufficientChannels},
+		{"ErrInvalidProgram", ErrInvalidProgram, core.ErrInvalidProgram},
+	}
+	for _, p := range pairs {
+		if p.public != p.internal {
+			t.Errorf("%s re-export is not the core sentinel", p.name)
+		}
+		if !errors.Is(fmt.Errorf("core side: %w", p.internal), p.public) {
+			t.Errorf("internally wrapped %s not matched by public alias", p.name)
+		}
+	}
+}
+
+// TestAPIErrorsAreWrapAware checks that errors produced by the public API
+// still satisfy errors.Is after another caller-side wrap.
+func TestAPIErrorsAreWrapAware(t *testing.T) {
+	if _, err := Build(nil, 3); !errors.Is(fmt.Errorf("caller: %w", err), ErrInvalidGroupSet) {
+		t.Errorf("Build(nil, 3) error %v does not wrap ErrInvalidGroupSet", err)
+	}
+	if _, err := Build(figure2(), 0); !errors.Is(fmt.Errorf("caller: %w", err), ErrInsufficientChannels) {
+		t.Errorf("Build(gs, 0) error %v does not wrap ErrInsufficientChannels", err)
+	}
+	if _, err := NewGroupSet(nil); !errors.Is(fmt.Errorf("caller: %w", err), ErrInvalidGroupSet) {
+		t.Errorf("NewGroupSet(nil) error %v does not wrap ErrInvalidGroupSet", err)
+	}
+	p, err := core.NewProgram(figure2(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := p.Validate(); !errors.Is(fmt.Errorf("caller: %w", verr), ErrInvalidProgram) {
+		t.Errorf("Validate error %v does not wrap ErrInvalidProgram", verr)
+	}
+}
