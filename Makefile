@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet airvet test race fuzz check
+.PHONY: build vet airvet test race fuzz bench check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ fuzz:
 	$(GO) test -fuzz='FuzzGroupSetJSON$$'      -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz='FuzzParseFrame$$'        -fuzztime=$(FUZZTIME) ./internal/netcast/
 	$(GO) test -fuzz='FuzzPAMADPlacement$$'    -fuzztime=$(FUZZTIME) ./internal/pamad/
+
+# Smoke the hot-path benchmarks and the benchmark-trajectory harness (see
+# docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares.
+bench:
+	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Figure5' -benchtime=1x -benchmem .
+	$(GO) run ./cmd/airbench -bench -stride 8 -skipopt -requests 300 -dist sskew \
+		$(if $(BASELINE),-baseline $(BASELINE))
 
 check:
 	FUZZTIME=$(FUZZTIME) scripts/check.sh

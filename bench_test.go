@@ -148,6 +148,24 @@ func BenchmarkOPTSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkAppearanceIndex measures the flat CSR appearance-index build
+// alone (the first stage of Analyze).
+func BenchmarkAppearanceIndex(b *testing.B) {
+	gs := paperInstance(b)
+	prog, _, err := pamad.Build(gs, core.CeilDiv(gs.MinChannels(), 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := core.BuildAppearanceIndex(prog)
+		if ix.Pages() != gs.Pages() {
+			b.Fatal("bad index")
+		}
+	}
+}
+
 // BenchmarkAnalyze measures the closed-form delay analysis of a PAMAD
 // program.
 func BenchmarkAnalyze(b *testing.B) {

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/experiments"
+	"tcsa/internal/pamad"
+	"tcsa/internal/perf"
+	"tcsa/internal/workload"
+)
+
+// benchConfig carries the -bench mode flags.
+type benchConfig struct {
+	out      string  // -benchout: where to write the report
+	baseline string  // -baseline: prior report to compare against ("" = none)
+	slowdown float64 // -maxslowdown: ns/op bound for the comparison (<=0 off)
+	allocs   float64 // -maxallocgrowth: allocs/op bound (<=0 off)
+}
+
+// runBench measures the analysis and sweep hot paths with
+// testing.Benchmark, fingerprints the Figure 5 series each sweep produces,
+// and writes the perf.Report to cfg.out. With a baseline it then compares
+// and fails on any regression, making the benchmark trajectory a CI gate.
+func runBench(p experiments.Params, dists []workload.Distribution, cfg benchConfig, out io.Writer) error {
+	rep := &perf.Report{
+		Schema:   perf.SchemaVersion,
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	prog, err := paperProgram(p)
+	if err != nil {
+		return err
+	}
+	add := func(name string, r testing.BenchmarkResult, checksum string) {
+		rep.Samples = append(rep.Samples, perf.Sample{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: int64(r.AllocsPerOp()),
+			BytesPerOp:  int64(r.AllocedBytesPerOp()),
+			Checksum:    checksum,
+		})
+		fmt.Fprintf(out, "%-24s %12.0f ns/op %10d allocs/op %12d B/op",
+			name, rep.Samples[len(rep.Samples)-1].NsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp())
+		if checksum != "" {
+			fmt.Fprintf(out, "  series %s", checksum)
+		}
+		fmt.Fprintln(out)
+	}
+
+	add("AppearanceIndex", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.BuildAppearanceIndex(prog)
+		}
+	}), "")
+	var analysis *core.Analysis
+	add("Analyze", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analysis = core.Analyze(prog)
+		}
+	}), perf.SeriesChecksum([]float64{analysisFingerprint(analysis)}))
+
+	ctx := context.Background()
+	for _, dist := range dists {
+		var series *experiments.Fig5Series
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := experiments.Figure5(ctx, p, dist)
+				if err != nil {
+					b.Fatal(err)
+				}
+				series = s
+			}
+		})
+		if series == nil {
+			return fmt.Errorf("bench: Figure5 %v produced no series", dist)
+		}
+		add("Figure5/"+dist.String(), r, perf.SeriesChecksum(seriesFloats(series)))
+	}
+
+	if err := rep.WriteFile(cfg.out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d samples)\n", cfg.out, len(rep.Samples))
+
+	if cfg.baseline == "" {
+		return nil
+	}
+	base, err := perf.ReadFile(cfg.baseline)
+	if err != nil {
+		return fmt.Errorf("bench: read baseline: %w", err)
+	}
+	regs := perf.Compare(base, rep, perf.Options{MaxSlowdown: cfg.slowdown, MaxAllocGrowth: cfg.allocs})
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "no regressions against %s\n", cfg.baseline)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(out, "REGRESSION:", r)
+	}
+	return fmt.Errorf("bench: %d regression(s) against %s", len(regs), cfg.baseline)
+}
+
+// paperProgram builds the instance the micro-benchmarks measure: the
+// paper's default table for the sweep's distribution selection is
+// irrelevant here, so it pins uniform at 1/5 of the minimum channels (the
+// paper's knee), matching the repository benchmarks and allocation guards.
+func paperProgram(p experiments.Params) (*core.Program, error) {
+	gs, err := p.Instance(workload.Uniform)
+	if err != nil {
+		return nil, err
+	}
+	n := core.CeilDiv(gs.MinChannels(), 5)
+	prog, _, err := pamad.Build(gs, n)
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// analysisFingerprint reduces an analysis to the scalar its users consume.
+func analysisFingerprint(a *core.Analysis) float64 {
+	if a == nil {
+		return 0
+	}
+	return a.AvgDelay()
+}
+
+// seriesFloats flattens a Figure 5 series into the float sequence its
+// checksum fingerprints: every numeric field of every point, in order.
+func seriesFloats(s *experiments.Fig5Series) []float64 {
+	vals := make([]float64, 0, 7*len(s.Points))
+	for _, pt := range s.Points {
+		vals = append(vals, float64(pt.Channels),
+			pt.PAMAD, pt.MPB, pt.OPT,
+			pt.PAMADExact, pt.MPBExact, pt.OPTExact)
+	}
+	return vals
+}

@@ -44,7 +44,12 @@ func run(args []string, out io.Writer) error {
 	skipOPT := fs.Bool("skipopt", false, "skip the OPT series in fig5")
 	csv := fs.Bool("csv", false, "emit CSV instead of tables (fig5 only)")
 	plot := fs.Bool("plot", false, "append an ASCII chart per fig5 subplot")
-	workers := fs.Int("parallel", 0, "fan fig5 channel counts over this many workers (0 = serial)")
+	workers := fs.Int("parallel", 0, "fan fig5 channel counts over this many workers (0 = GOMAXPROCS)")
+	bench := fs.Bool("bench", false, "measure the hot paths and write a benchmark-trajectory report instead of running experiments")
+	benchout := fs.String("benchout", "BENCH_sweep.json", "report path for -bench")
+	baseline := fs.String("baseline", "", "prior -bench report to compare against; regressions fail the run")
+	maxSlowdown := fs.Float64("maxslowdown", 0, "fail -baseline comparison when ns/op grows beyond this factor (0 = ignore wall time)")
+	maxAllocGrowth := fs.Float64("maxallocgrowth", 1.5, "fail -baseline comparison when allocs/op grows beyond this factor (0 = ignore)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +63,14 @@ func run(args []string, out io.Writer) error {
 	dists, err := parseDists(*dist)
 	if err != nil {
 		return err
+	}
+	if *bench {
+		return runBench(p, dists, benchConfig{
+			out:      *benchout,
+			baseline: *baseline,
+			slowdown: *maxSlowdown,
+			allocs:   *maxAllocGrowth,
+		}, out)
 	}
 	ctx := context.Background()
 

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tcsa/internal/perf"
 )
 
 func TestRunFig3(t *testing.T) {
@@ -127,6 +130,62 @@ func TestRunFig5Parallel(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Figure 5") {
 		t.Errorf("parallel fig5 output:\n%s", out.String())
+	}
+}
+
+// TestRunBench: -bench writes a well-formed BENCH_sweep.json whose sweep
+// samples carry series checksums, and a doctored baseline fails the run
+// with its regressions reported.
+func TestRunBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	fast := []string{"-bench", "-stride", "16", "-skipopt", "-requests", "200", "-dist", "sskew", "-benchout", path}
+	var out strings.Builder
+	if err := run(fast, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != perf.SchemaVersion || rep.MaxProcs < 1 || rep.GOOS == "" {
+		t.Errorf("malformed report header: %+v", rep)
+	}
+	for _, name := range []string{"AppearanceIndex", "Analyze", "Figure5/S-skewed"} {
+		s := rep.Find(name)
+		if s == nil {
+			t.Fatalf("report missing sample %q", name)
+		}
+		if s.Iterations < 1 || s.NsPerOp <= 0 {
+			t.Errorf("%s: implausible sample %+v", name, s)
+		}
+	}
+	if sweep := rep.Find("Figure5/S-skewed"); len(sweep.Checksum) != 16 {
+		t.Errorf("sweep sample missing series checksum: %+v", sweep)
+	}
+
+	// A baseline claiming a different series and fewer allocations must
+	// fail the comparison and name both regressions.
+	bad := *rep
+	bad.Samples = append([]perf.Sample(nil), rep.Samples...)
+	for i := range bad.Samples {
+		if bad.Samples[i].Name == "Figure5/S-skewed" {
+			bad.Samples[i].Checksum = "0000000000000000"
+			bad.Samples[i].AllocsPerOp = 1
+		}
+	}
+	badPath := filepath.Join(t.TempDir(), "baseline.json")
+	if err := bad.WriteFile(badPath); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run(append(fast, "-baseline", badPath), &out)
+	if err == nil {
+		t.Fatal("regressed baseline comparison passed")
+	}
+	for _, want := range []string{"checksum", "allocs/op"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("comparison output missing %q regression:\n%s", want, out.String())
+		}
 	}
 }
 

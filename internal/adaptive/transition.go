@@ -83,7 +83,7 @@ func newWait0(a *core.Analysis, ids []core.PageID) []float64 {
 // in-cycle; later arrivals wait out the boundary plus the new program's
 // phase-0 wait.
 func spliceWait(a *core.Analysis, id core.PageID, L, newWait float64) float64 {
-	cols := a.Appearances(id)
+	cols := a.Index().Columns(id)
 	if len(cols) == 0 {
 		return L/2 + newWait // never served in-cycle: everyone carries over
 	}
@@ -105,7 +105,7 @@ func spliceWait(a *core.Analysis, id core.PageID, L, newWait float64) float64 {
 // carryProbability is the chance a uniform final-cycle arrival for this
 // item crosses the boundary.
 func carryProbability(a *core.Analysis, id core.PageID, L float64) float64 {
-	cols := a.Appearances(id)
+	cols := a.Index().Columns(id)
 	if len(cols) == 0 {
 		return 1
 	}

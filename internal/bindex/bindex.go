@@ -138,7 +138,7 @@ func (ix *Indexed) Analyze() Metrics {
 	// over segments (arrival lands in each segment's basin with probability
 	// proportional to its preceding gap — for evenly spaced segments the
 	// basins are equal; we weight by basin size for exactness).
-	table := ix.prog.AppearanceTable()
+	appearances := ix.prog.AppearanceIndex()
 	n := ix.prog.GroupSet().Pages()
 	var afterIndex float64
 	totalWeight := 0.0
@@ -153,7 +153,7 @@ func (ix *Indexed) Analyze() Metrics {
 		totalWeight += basin
 		var sum float64
 		for id := 0; id < n; id++ {
-			sum += ix.distanceToPage(table[id], end)
+			sum += ix.distanceToPage(appearances.Columns(core.PageID(id)), end)
 		}
 		afterIndex += basin * sum / float64(n)
 	}
@@ -168,7 +168,7 @@ func (ix *Indexed) Analyze() Metrics {
 // distanceToPage returns the slots from stretched column `from` to the next
 // stretched appearance of a page with the given original appearance
 // columns; pages never broadcast cost a full cycle.
-func (ix *Indexed) distanceToPage(cols []int, from int) float64 {
+func (ix *Indexed) distanceToPage(cols []int32, from int) float64 {
 	if len(cols) == 0 {
 		return float64(ix.length)
 	}

@@ -158,7 +158,7 @@ func TestAnalyzeClosedFormAgainstNumeric(t *testing.T) {
 // numericAccessTime integrates the protocol over a fine arrival grid.
 func numericAccessTime(ix *Indexed) float64 {
 	Ls := ix.Length()
-	table := ix.prog.AppearanceTable()
+	appearances := ix.prog.AppearanceIndex()
 	n := ix.prog.GroupSet().Pages()
 	const steps = 4000
 	var total float64
@@ -180,7 +180,7 @@ func numericAccessTime(ix *Indexed) float64 {
 		end := ix.IndexStarts()[seg] + ix.cfg.IndexSlots
 		var pageSum float64
 		for id := 0; id < n; id++ {
-			pageSum += ix.distanceToPage(table[id], end)
+			pageSum += ix.distanceToPage(appearances.Columns(core.PageID(id)), end)
 		}
 		total += best + float64(ix.cfg.IndexSlots) + pageSum/float64(n) + 1
 	}

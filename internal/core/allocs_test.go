@@ -1,0 +1,56 @@
+// Allocation guards for the analysis hot path. These lock in the flat
+// AppearanceIndex win as a test, not just a benchmark: the CSR build is a
+// constant number of allocations on any instance, so a regression back to
+// per-page append growth (thousands of allocations on the paper's default
+// workload) fails immediately.
+//
+// The file is an external test package so it can build the paper's default
+// instance (n=1000, h=8, t=4..512) through workload and pamad, which both
+// import core.
+package core_test
+
+import (
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/pamad"
+	"tcsa/internal/workload"
+)
+
+// paperProgram builds PAMAD's program for the paper's default uniform
+// instance at 1/5 of the minimum channels (the knee regime every sweep
+// point passes through).
+func paperProgram(t *testing.T) *core.Program {
+	t.Helper()
+	gs, err := workload.GroupSet(workload.Uniform, 8, 1000, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := pamad.Build(gs, core.CeilDiv(gs.MinChannels(), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestAppearanceIndexAllocations(t *testing.T) {
+	prog := paperProgram(t)
+	// The build contract is six allocations (index struct, offsets, scratch,
+	// arena) regardless of instance size.
+	if got := testing.AllocsPerRun(10, func() {
+		core.BuildAppearanceIndex(prog)
+	}); got > 6 {
+		t.Errorf("BuildAppearanceIndex allocates %.0f times per run, want <= 6", got)
+	}
+}
+
+func TestAnalyzeAllocations(t *testing.T) {
+	prog := paperProgram(t)
+	// Index build (4 data allocations + struct) plus the Analysis struct and
+	// one arena for the three per-page series.
+	if got := testing.AllocsPerRun(10, func() {
+		core.Analyze(prog)
+	}); got > 8 {
+		t.Errorf("Analyze allocates %.0f times per run, want <= 8", got)
+	}
+}

@@ -19,7 +19,7 @@ import (
 //	P[delay > 0]   = sum_k max(g_k - t, 0) / L
 type Analysis struct {
 	program *Program
-	table   [][]int
+	ix      *AppearanceIndex
 	// perPageDelay[i] is E[delay] of page i; perPageWait likewise.
 	perPageDelay []float64
 	perPageWait  []float64
@@ -31,15 +31,20 @@ type Analysis struct {
 // get +Inf-free sentinel treatment: their wait and delay are reported as the
 // full cycle length (the worst deterministic bound) and miss probability 1.
 func Analyze(p *Program) *Analysis {
+	n := p.gs.Pages()
+	// One arena for the three per-page series keeps Analyze at a small
+	// constant allocation count (guarded by TestAnalyzeAllocations).
+	buf := make([]float64, 3*n)
 	a := &Analysis{
 		program:      p,
-		table:        p.AppearanceTable(),
-		perPageDelay: make([]float64, p.gs.Pages()),
-		perPageWait:  make([]float64, p.gs.Pages()),
-		perPageMiss:  make([]float64, p.gs.Pages()),
+		ix:           BuildAppearanceIndex(p),
+		perPageDelay: buf[:n:n],
+		perPageWait:  buf[n : 2*n : 2*n],
+		perPageMiss:  buf[2*n:],
 	}
 	L := float64(p.length)
-	for id, cols := range a.table {
+	for id := 0; id < n; id++ {
+		cols := a.ix.Columns(PageID(id))
 		t := float64(p.gs.TimeOf(PageID(id)))
 		if len(cols) == 0 {
 			a.perPageWait[id] = L
@@ -56,7 +61,7 @@ func Analyze(p *Program) *Analysis {
 			if k+1 < len(cols) {
 				g = float64(cols[k+1] - cols[k])
 			} else {
-				g = float64(cols[0] + p.length - cols[k])
+				g = float64(int(cols[0]) + p.length - int(cols[k]))
 			}
 			wait += g * g / (2 * L)
 			if d := g - t; d > 0 {
@@ -76,6 +81,9 @@ func Analyze(p *Program) *Analysis {
 
 // Program returns the analyzed program.
 func (a *Analysis) Program() *Program { return a.program }
+
+// Index returns the appearance index snapshot backing the analysis.
+func (a *Analysis) Index() *AppearanceIndex { return a.ix }
 
 // PageDelay returns E[delay] (slots beyond the expected time) of page id.
 func (a *Analysis) PageDelay(id PageID) float64 { return a.perPageDelay[id] }
@@ -114,22 +122,26 @@ func (a *Analysis) WeightedAvgDelay(prob []float64) (float64, error) {
 	return d, nil
 }
 
-// Appearances returns the sorted distinct appearance columns of page id
-// (shared slice; callers must not modify).
-func (a *Analysis) Appearances(id PageID) []int { return a.table[id] }
+// Appearances returns the sorted distinct appearance columns of page id as
+// a freshly allocated slice; Index().Columns(id) is the allocation-free
+// equivalent.
+func (a *Analysis) Appearances(id PageID) []int {
+	return a.ix.AppendColumns(nil, id)
+}
 
 // NextAfter returns the waiting time from continuous cycle instant u (in
 // [0, cycle length)) until the next appearance of page id, treating the
 // program as infinitely repeating. A page broadcast exactly at u is received
 // with zero wait. Pages that never appear wait a full cycle.
 func (a *Analysis) NextAfter(id PageID, u float64) float64 {
-	cols := a.table[id]
+	cols := a.ix.Columns(id)
 	L := float64(a.program.length)
 	if len(cols) == 0 {
 		return L
 	}
 	// First column >= u.
-	k := sort.SearchInts(cols, int(ceilF(u)))
+	target := int32(ceilF(u))
+	k := sort.Search(len(cols), func(i int) bool { return cols[i] >= target })
 	if k == len(cols) {
 		return float64(cols[0]) + L - u
 	}
@@ -182,16 +194,5 @@ func (a *Analysis) GroupWait(i int) float64 {
 // WorstGap returns the largest inter-appearance gap (cyclic) of page id in
 // slots; pages that never appear report the cycle length.
 func (a *Analysis) WorstGap(id PageID) int {
-	cols := a.table[id]
-	L := a.program.length
-	if len(cols) == 0 {
-		return L
-	}
-	worst := cols[0] + L - cols[len(cols)-1]
-	for k := 1; k < len(cols); k++ {
-		if g := cols[k] - cols[k-1]; g > worst {
-			worst = g
-		}
-	}
-	return worst
+	return a.ix.WorstGap(id)
 }

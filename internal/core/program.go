@@ -128,39 +128,27 @@ func (p *Program) Clear(ch, slot int) {
 	}
 }
 
+// AppearanceIndex builds the flat appearance index of the program's
+// current grid. The index is a snapshot: later Place/Clear edits are not
+// reflected.
+func (p *Program) AppearanceIndex() *AppearanceIndex {
+	return BuildAppearanceIndex(p)
+}
+
 // Appearances returns the sorted distinct columns in which page id is
 // broadcast (on any channel).
 func (p *Program) Appearances(id PageID) []int {
-	var cols []int
-	for slot := 0; slot < p.length; slot++ {
-		for ch := 0; ch < p.channels; ch++ {
-			if p.grid[ch*p.length+slot] == id {
-				cols = append(cols, slot)
-				break
-			}
-		}
-	}
-	return cols
+	return p.AppearanceIndex().AppendColumns(nil, id)
 }
 
 // AppearanceTable returns, for every page, its sorted distinct appearance
 // columns. Pages that never appear have a nil slice.
+//
+// It is a compatibility shim over AppearanceIndex, which new code should
+// prefer: the index holds all columns in one arena instead of one heap
+// slice per page.
 func (p *Program) AppearanceTable() [][]int {
-	table := make([][]int, p.gs.Pages())
-	for slot := 0; slot < p.length; slot++ {
-		for ch := 0; ch < p.channels; ch++ {
-			id := p.grid[ch*p.length+slot]
-			if id == None {
-				continue
-			}
-			cols := table[id]
-			if len(cols) > 0 && cols[len(cols)-1] == slot {
-				continue // same column on another channel
-			}
-			table[id] = append(cols, slot)
-		}
-	}
-	return table
+	return p.AppearanceIndex().Table()
 }
 
 // Validate checks the Section 3.1 validity conditions for every page:
@@ -172,23 +160,24 @@ func (p *Program) AppearanceTable() [][]int {
 // It returns nil for a valid program and an error wrapping
 // ErrInvalidProgram describing the first violation otherwise.
 func (p *Program) Validate() error {
-	table := p.AppearanceTable()
-	for id, cols := range table {
+	ix := p.AppearanceIndex()
+	for id := 0; id < ix.Pages(); id++ {
 		t := p.gs.TimeOf(PageID(id))
+		cols := ix.Columns(PageID(id))
 		if len(cols) == 0 {
 			return fmt.Errorf("%w: page %d never broadcast", ErrInvalidProgram, id)
 		}
-		if cols[0] >= t {
+		if int(cols[0]) >= t {
 			return fmt.Errorf("%w: page %d first broadcast at slot %d >= t=%d",
 				ErrInvalidProgram, id, cols[0], t)
 		}
 		for k := 1; k < len(cols); k++ {
-			if gap := cols[k] - cols[k-1]; gap > t {
+			if gap := int(cols[k] - cols[k-1]); gap > t {
 				return fmt.Errorf("%w: page %d gap %d > t=%d between slots %d and %d",
 					ErrInvalidProgram, id, gap, t, cols[k-1], cols[k])
 			}
 		}
-		if wrap := cols[0] + p.length - cols[len(cols)-1]; wrap > t {
+		if wrap := int(cols[0]) + p.length - int(cols[len(cols)-1]); wrap > t {
 			return fmt.Errorf("%w: page %d cyclic wrap gap %d > t=%d",
 				ErrInvalidProgram, id, wrap, t)
 		}

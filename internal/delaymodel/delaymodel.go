@@ -71,24 +71,37 @@ func (s Frequencies) Clone() Frequencies { return append(Frequencies(nil), s...)
 // been validated; out-of-contract input yields a meaningless (not unsafe)
 // number, matching the paper's treatment of D' as a pure objective function.
 func GroupDelay(gs *core.GroupSet, s Frequencies, nReal int) float64 {
-	return prefixDelay(gs, s, gs.Len(), nReal)
+	return StageDelay(gs, s, gs.Len(), nReal)
 }
 
 // StageDelay evaluates the stage-i objective D'_i of the progressive
 // derivation (paper Eq. 3, 5 and 7): the average group delay of scheduling
 // only groups 1..stage (1-based) with per-stage frequencies s[:stage].
 func StageDelay(gs *core.GroupSet, s Frequencies, stage, nReal int) float64 {
-	return prefixDelay(gs, s, stage, nReal)
-}
-
-func prefixDelay(gs *core.GroupSet, s Frequencies, h, nReal int) float64 {
-	if nReal < 1 || h < 1 || h > gs.Len() || len(s) < h {
+	if nReal < 1 || stage < 1 || stage > gs.Len() || len(s) < stage {
 		return 0
 	}
 	f := 0
-	for i := 0; i < h; i++ {
+	for i := 0; i < stage; i++ {
 		f += s[i] * gs.Group(i).Count
 	}
+	return prefixDelay(gs, s, stage, nReal, f)
+}
+
+// StageDelayTotal is StageDelay with the transmission total
+// F = sum_{g<stage} s_g*P_g supplied by the caller. The progressive
+// derivation evaluates hundreds of candidates whose F differs by a constant
+// step, so it maintains F incrementally instead of letting every candidate
+// recompute the prefix sum; like GroupDelay, an inconsistent total yields a
+// meaningless (not unsafe) number.
+func StageDelayTotal(gs *core.GroupSet, s Frequencies, stage, nReal, total int) float64 {
+	if nReal < 1 || stage < 1 || stage > gs.Len() || len(s) < stage {
+		return 0
+	}
+	return prefixDelay(gs, s, stage, nReal, total)
+}
+
+func prefixDelay(gs *core.GroupSet, s Frequencies, h, nReal, f int) float64 {
 	if f == 0 {
 		return 0
 	}

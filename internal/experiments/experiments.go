@@ -14,6 +14,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"tcsa/internal/core"
 	"tcsa/internal/mpb"
@@ -95,35 +96,12 @@ type Fig5Series struct {
 
 // Figure5 reproduces one subplot of the paper's Figure 5: AvgD of PAMAD,
 // m-PB and OPT as the channel count sweeps from 1 to the Theorem 3.1
-// minimum for the given group-size distribution.
+// minimum for the given group-size distribution. Points are computed on a
+// GOMAXPROCS worker pool; because each point derives its own request seed,
+// the series is bit-for-bit identical to the historical serial sweep
+// (Figure5Parallel with 1 worker).
 func Figure5(ctx context.Context, p Params, dist workload.Distribution) (*Fig5Series, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	gs, err := p.Instance(dist)
-	if err != nil {
-		return nil, err
-	}
-	series := &Fig5Series{Dist: dist, Set: gs, MinChannels: gs.MinChannels()}
-	for n := 1; n <= series.MinChannels; n += p.ChannelStride {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		pt, err := figure5Point(ctx, p, gs, n)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %v at %d channels: %w", dist, n, err)
-		}
-		series.Points = append(series.Points, *pt)
-	}
-	// Always include the right endpoint (the sufficient-channel count).
-	if last := series.Points[len(series.Points)-1]; last.Channels != series.MinChannels {
-		pt, err := figure5Point(ctx, p, gs, series.MinChannels)
-		if err != nil {
-			return nil, err
-		}
-		series.Points = append(series.Points, *pt)
-	}
-	return series, nil
+	return runSweep(ctx, p, dist, defaultWorkers())
 }
 
 func figure5Point(ctx context.Context, p Params, gs *core.GroupSet, n int) (*Fig5Point, error) {
@@ -180,15 +158,29 @@ func measure(p Params, prog *core.Program, n, alg int) (measured, exact float64,
 	return m.AvgDelay, a.AvgDelay(), nil
 }
 
-// Figure5All runs all four subplots in the paper's order.
+// Figure5All runs all four subplots in the paper's order. The
+// distributions sweep concurrently over one shared GOMAXPROCS worker
+// budget, so the whole figure costs barely more wall-clock than its widest
+// subplot; each series is still bit-for-bit what Figure5 returns alone.
 func Figure5All(ctx context.Context, p Params) ([]*Fig5Series, error) {
-	var out []*Fig5Series
-	for _, dist := range workload.Distributions() {
-		s, err := Figure5(ctx, p, dist)
+	dists := workload.Distributions()
+	out := make([]*Fig5Series, len(dists))
+	errs := make([]error, len(dists))
+	sem := defaultWorkers()
+	var wg sync.WaitGroup
+	for i, dist := range dists {
+		i, dist := i, dist
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = runSweep(ctx, p, dist, sem)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, s)
 	}
 	return out, nil
 }

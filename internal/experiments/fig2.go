@@ -1,14 +1,11 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"tcsa/internal/core"
 	"tcsa/internal/pamad"
-	"tcsa/internal/workload"
 )
 
 // Figure2 reruns the paper's worked example (P = 3,5,3; t = 2,4,8;
@@ -40,59 +37,4 @@ func Figure2() (string, error) {
 		[]int(res.Frequencies), res.MajorCycle, res.Delay)
 	b.WriteString(prog.String())
 	return b.String(), nil
-}
-
-// Figure5Parallel computes one Figure 5 subplot with the channel counts
-// fanned out over a bounded worker pool; results are identical to Figure5
-// (every point derives its own request seed) but wall-clock scales with
-// the available cores. workers <= 0 uses 4.
-func Figure5Parallel(ctx context.Context, p Params, dist workload.Distribution, workers int) (*Fig5Series, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = 4
-	}
-	gs, err := p.Instance(dist)
-	if err != nil {
-		return nil, err
-	}
-	series := &Fig5Series{Dist: dist, Set: gs, MinChannels: gs.MinChannels()}
-	var channels []int
-	for n := 1; n <= series.MinChannels; n += p.ChannelStride {
-		channels = append(channels, n)
-	}
-	if channels[len(channels)-1] != series.MinChannels {
-		channels = append(channels, series.MinChannels)
-	}
-
-	points := make([]*Fig5Point, len(channels))
-	errs := make([]error, len(channels))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, n := range channels {
-		i, n := i, n
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				errs[i] = ctx.Err()
-				return
-			}
-			points[i], errs[i] = figure5Point(ctx, p, gs, n)
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %v at %d channels: %w", dist, channels[i], err)
-		}
-	}
-	for _, pt := range points {
-		series.Points = append(series.Points, *pt)
-	}
-	return series, nil
 }

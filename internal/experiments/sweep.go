@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tcsa/internal/workload"
+)
+
+// This file is the single sweep engine behind every Figure 5 entry point.
+// Figure5, Figure5Parallel and Figure5All all funnel into runSweep; the
+// only difference between them is the size (and sharing) of the worker-slot
+// semaphore. One worker slot reproduces the historical serial loop; the
+// default is GOMAXPROCS slots; Figure5All shares one budget across all four
+// distributions so a machine-wide sweep saturates the cores without
+// oversubscribing them.
+
+// sweepChannelCounts returns the x-axis of one Figure 5 subplot: every
+// stride-th channel count from 1, with the Theorem 3.1 minimum always
+// included as the right endpoint.
+func sweepChannelCounts(minChannels, stride int) []int {
+	counts := make([]int, 0, minChannels/stride+2)
+	for n := 1; n <= minChannels; n += stride {
+		counts = append(counts, n)
+	}
+	if counts[len(counts)-1] != minChannels {
+		counts = append(counts, minChannels)
+	}
+	return counts
+}
+
+// defaultWorkers returns a fresh worker-slot semaphore sized to the
+// machine.
+func defaultWorkers() chan struct{} {
+	return make(chan struct{}, runtime.GOMAXPROCS(0))
+}
+
+// runSweep evaluates figure5Point at every channel count of dist's series,
+// fanning points over the worker-slot semaphore sem. Every point derives
+// its request seed from (master seed, channel count, algorithm) exactly as
+// the historical serial loop did, so the resulting series is bit-for-bit
+// identical for any semaphore size — see TestSweepMatchesSerialReference.
+// Errors carry the same "experiments: <dist> at <n> channels" context at
+// every point, the right endpoint included.
+func runSweep(ctx context.Context, p Params, dist workload.Distribution, sem chan struct{}) (*Fig5Series, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	gs, err := p.Instance(dist)
+	if err != nil {
+		return nil, err
+	}
+	series := &Fig5Series{Dist: dist, Set: gs, MinChannels: gs.MinChannels()}
+	counts := sweepChannelCounts(series.MinChannels, p.ChannelStride)
+
+	points := make([]*Fig5Point, len(counts))
+	errs := make([]error, len(counts))
+	var wg sync.WaitGroup
+	for i, n := range counts {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			points[i], errs[i] = figure5Point(ctx, p, gs, n)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %v at %d channels: %w", dist, counts[i], err)
+		}
+	}
+	series.Points = make([]Fig5Point, len(points))
+	for i, pt := range points {
+		series.Points[i] = *pt
+	}
+	return series, nil
+}
+
+// Figure5Parallel computes one Figure 5 subplot with an explicit worker
+// count: 1 reproduces the serial sweep, workers <= 0 defaults to 4 (the
+// historical behaviour). Results are identical to Figure5 at any worker
+// count; only wall-clock changes.
+func Figure5Parallel(ctx context.Context, p Params, dist workload.Distribution, workers int) (*Fig5Series, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	return runSweep(ctx, p, dist, make(chan struct{}, workers))
+}

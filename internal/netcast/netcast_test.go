@@ -3,6 +3,7 @@ package netcast
 import (
 	"context"
 	"errors"
+	"net"
 	"testing"
 	"time"
 
@@ -318,6 +319,70 @@ func TestMultipleSubscribersSameChannel(t *testing.T) {
 	for i, tuner := range tuners {
 		if _, err := tuner.ReadFrame(2 * time.Second); err != nil {
 			t.Errorf("subscriber %d starved: %v", i, err)
+		}
+	}
+}
+
+// TestSubscribeDuringTransmission churns subscriptions on both channels
+// while the server ticks as fast as it can, exercising the copy-on-write
+// snapshot swap against concurrent transmits (the -race gate for this
+// package). Frames must still flow to a subscriber that stays attached.
+func TestSubscribeDuringTransmission(t *testing.T) {
+	srv := startServer(t, testProgram(t), 100*time.Microsecond)
+	a0, _ := srv.ChannelAddr(0)
+	a1, _ := srv.ChannelAddr(1)
+
+	stable, err := NewTuner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stable.Close()
+	if err := stable.Tune(a0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stable.ReadFrame(2 * time.Second); err != nil {
+		t.Fatalf("no frames before churn: %v", err)
+	}
+
+	const churners = 4
+	done := make(chan error, churners)
+	for i := 0; i < churners; i++ {
+		addr := a0
+		if i%2 == 1 {
+			addr = a1
+		}
+		go func(addr *net.UDPAddr) {
+			tuner, err := NewTuner()
+			if err != nil {
+				done <- err
+				return
+			}
+			defer tuner.Close()
+			for j := 0; j < 50; j++ {
+				if err := tuner.Tune(addr); err != nil {
+					done <- err
+					return
+				}
+				if err := tuner.Detach(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(addr)
+	}
+	for i := 0; i < churners; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stable subscriber survived the churn and still receives frames.
+	for {
+		if _, err := stable.ReadFrame(2 * time.Second); err != nil {
+			t.Fatalf("stable subscriber starved after churn: %v", err)
+		}
+		if srv.Subscribers(0) == 1 && srv.Subscribers(1) == 0 {
+			break
 		}
 	}
 }

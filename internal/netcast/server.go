@@ -31,7 +31,18 @@ type Server struct {
 
 	mu   sync.Mutex
 	subs []map[string]*net.UDPAddr // per channel, keyed by addr string
-	slot uint32
+	// snaps[ch] is a copy-on-write snapshot of subs[ch]: readControl swaps
+	// in a freshly built slice on every SUB/UNS and nobody mutates a
+	// published snapshot, so transmit can fan frames out from it outside
+	// the lock instead of rebuilding the target list every tick.
+	snaps [][]*net.UDPAddr
+	slot  uint32
+
+	// Scratch reused across ticks by transmit, which only ever runs on the
+	// Run tick goroutine: the per-channel snapshot headers and the frame
+	// encode buffer.
+	targets [][]*net.UDPAddr
+	frame   []byte
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -54,6 +65,9 @@ func NewServer(prog *core.Program, cfg ServerConfig) (*Server, error) {
 		prog:    prog,
 		slotDur: cfg.SlotDuration,
 		subs:    make([]map[string]*net.UDPAddr, prog.Channels()),
+		snaps:   make([][]*net.UDPAddr, prog.Channels()),
+		targets: make([][]*net.UDPAddr, prog.Channels()),
+		frame:   make([]byte, 0, FrameSize),
 		stopped: make(chan struct{}),
 	}
 	for ch := 0; ch < prog.Channels(); ch++ {
@@ -162,10 +176,12 @@ func (s *Server) readControl(ch int) {
 		case string(subscribeMsg):
 			s.mu.Lock()
 			s.subs[ch][addr.String()] = addr
+			s.resnap(ch)
 			s.mu.Unlock()
 		case string(unsubscribeMsg):
 			s.mu.Lock()
 			delete(s.subs[ch], addr.String())
+			s.resnap(ch)
 			s.mu.Unlock()
 		default:
 			// Unknown control traffic is ignored; the air interface has no
@@ -174,27 +190,33 @@ func (s *Server) readControl(ch int) {
 	}
 }
 
+// resnap publishes a fresh immutable snapshot of subs[ch]. Callers hold mu.
+func (s *Server) resnap(ch int) {
+	snap := make([]*net.UDPAddr, 0, len(s.subs[ch]))
+	for _, a := range s.subs[ch] {
+		snap = append(snap, a)
+	}
+	s.snaps[ch] = snap
+}
+
 // transmit sends the current column on every channel to its subscribers.
+// The lock is held only long enough to claim the slot and copy the
+// per-channel snapshot headers; the snapshots themselves are immutable, so
+// the sends happen unlocked without racing SUB/UNS handling.
 func (s *Server) transmit() {
 	s.mu.Lock()
 	slot := s.slot
 	s.slot++
-	targets := make([][]*net.UDPAddr, len(s.conns))
-	for ch := range s.subs {
-		for _, a := range s.subs[ch] {
-			targets[ch] = append(targets[ch], a)
-		}
-	}
+	copy(s.targets, s.snaps)
 	s.mu.Unlock()
 
 	col := s.prog.Column(int(slot))
-	buf := make([]byte, 0, FrameSize)
 	for ch := range s.conns {
 		f := Frame{Channel: ch, Slot: slot, Page: s.prog.At(ch, col)}
-		buf = appendFrame(buf[:0], f)
-		for _, addr := range targets[ch] {
+		s.frame = appendFrame(s.frame[:0], f)
+		for _, addr := range s.targets[ch] {
 			// Best-effort, like the air: a failed send is a lost frame.
-			_, _ = s.conns[ch].WriteToUDP(buf, addr)
+			_, _ = s.conns[ch].WriteToUDP(s.frame, addr)
 		}
 	}
 }

@@ -80,9 +80,10 @@ func Search(ctx context.Context, gs *core.GroupSet, nReal int, opts Options) (*R
 			defer wg.Done()
 			local := &Result{Delay: -1}
 			r := make([]int, h-1)
+			scratch := make(delaymodel.Frequencies, h)
 			for first := range firsts {
 				r[0] = first
-				scan(gs, nReal, caps, r, 1, local)
+				scan(gs, nReal, caps, r, 1, local, scratch)
 			}
 			results <- local
 		}()
@@ -123,35 +124,35 @@ feed:
 }
 
 // scan recursively enumerates r[depth:] and scores complete vectors into
-// local (which uses Delay < 0 as "empty").
-func scan(gs *core.GroupSet, nReal int, caps, r []int, depth int, local *Result) {
+// local (which uses Delay < 0 as "empty"). scratch is one reusable
+// frequency vector per worker: every candidate is materialised into it and
+// only a new best is copied out, so the enumeration hot loop allocates
+// nothing.
+func scan(gs *core.GroupSet, nReal int, caps, r []int, depth int, local *Result, scratch delaymodel.Frequencies) {
 	if depth == len(r) {
-		s := chainFrequencies(r)
-		d := delaymodel.GroupDelay(gs, s, nReal)
+		chainFrequenciesInto(scratch, r)
+		d := delaymodel.GroupDelay(gs, scratch, nReal)
 		local.Evaluated++
-		cand := &Result{Frequencies: s, Delay: d}
-		if local.Delay < 0 || betterResult(gs, cand, local) {
-			local.Frequencies = s
+		cand := Result{Frequencies: scratch, Delay: d}
+		if local.Delay < 0 || betterResult(gs, &cand, local) {
+			local.Frequencies = append(local.Frequencies[:0], scratch...)
 			local.Delay = d
 		}
 		return
 	}
 	for v := 1; v <= caps[depth]; v++ {
 		r[depth] = v
-		scan(gs, nReal, caps, r, depth+1, local)
+		scan(gs, nReal, caps, r, depth+1, local, scratch)
 	}
 }
 
-// chainFrequencies converts repetition factors r_1..r_{h-1} to frequencies
-// S_i = prod_{j=i}^{h-1} r_j, S_h = 1.
-func chainFrequencies(r []int) delaymodel.Frequencies {
-	h := len(r) + 1
-	s := make(delaymodel.Frequencies, h)
-	s[h-1] = 1
-	for i := h - 2; i >= 0; i-- {
+// chainFrequenciesInto fills s with the frequencies of repetition factors
+// r_1..r_{h-1}: S_i = prod_{j=i}^{h-1} r_j, S_h = 1.
+func chainFrequenciesInto(s delaymodel.Frequencies, r []int) {
+	s[len(r)] = 1
+	for i := len(r) - 1; i >= 0; i-- {
 		s[i] = s[i+1] * r[i]
 	}
-	return s
 }
 
 // factorCaps derives the per-position candidate cap for r_i.

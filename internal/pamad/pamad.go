@@ -97,6 +97,7 @@ func FrequenciesOpt(gs *core.GroupSet, nReal int, opts Options) (delaymodel.Freq
 	var trace []Stage
 
 	// Stage i (paper numbering, 2..h): choose r_{i-1}.
+	s := make(delaymodel.Frequencies, h)
 	for i := 2; i <= h; i++ {
 		limit := candidateCap(gs, r, i, nReal)
 		// ci is the deadline-preserving repetition factor t_i/t_{i-1}: with
@@ -108,10 +109,27 @@ func FrequenciesOpt(gs *core.GroupSet, nReal int, opts Options) (delaymodel.Freq
 		ci := gs.Group(i-1).Time / gs.Group(i-2).Time
 		st := Stage{Stage: i, Cap: limit, Chosen: 1}
 		best := -1.0
+		// The stage-i vector is linear in the candidate: S_g = cand*unit_g
+		// for the prefix groups g < i-1 and S_{i-1} = 1, so the transmission
+		// total is F(cand) = cand*prefixSlots + P_{i-1}. Maintaining both
+		// incrementally keeps the candidate loop free of the per-candidate
+		// vector allocation and O(h) prefix-sum recomputation StageDelay
+		// would otherwise repeat.
+		r[i-2] = 1
+		unit := stageFrequencies(r, i)
+		prefixSlots := 0
+		for g := 0; g < i-1; g++ {
+			prefixSlots += unit[g] * gs.Group(g).Count
+		}
+		f := gs.Group(i - 1).Count
+		s[i-1] = 1
 		for cand := 1; cand <= limit; cand++ {
 			r[i-2] = cand
-			s := stageFrequencies(r, i)
-			d := delaymodel.StageDelay(gs, s, i, nReal)
+			for g := 0; g < i-1; g++ {
+				s[g] = cand * unit[g]
+			}
+			f += prefixSlots
+			d := delaymodel.StageDelayTotal(gs, s, i, nReal, f)
 			st.Candidates = append(st.Candidates, Candidate{R: cand, Delay: d})
 			better := best < 0 || d < best
 			// Tie detection is deliberately exact: tying candidates (in
@@ -141,8 +159,7 @@ func FrequenciesOpt(gs *core.GroupSet, nReal int, opts Options) (delaymodel.Freq
 		trace = append(trace, st)
 	}
 
-	s := stageFrequencies(r, h)
-	return s, trace, nil
+	return stageFrequencies(r, h), trace, nil
 }
 
 // closerTo reports whether a is strictly closer to target than b (larger
