@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./cmd/...
+	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/experiments/... ./cmd/...
 
 fuzz:
 	$(GO) test -fuzz='FuzzRearrange$$'         -fuzztime=$(FUZZTIME) ./internal/core/
@@ -27,11 +27,12 @@ fuzz:
 	$(GO) test -fuzz='FuzzGroupSetJSON$$'      -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz='FuzzParseFrame$$'        -fuzztime=$(FUZZTIME) ./internal/netcast/
 	$(GO) test -fuzz='FuzzPAMADPlacement$$'    -fuzztime=$(FUZZTIME) ./internal/pamad/
+	$(GO) test -fuzz='FuzzSketchQuantile$$'    -fuzztime=$(FUZZTIME) ./internal/stats/
 
 # Smoke the hot-path benchmarks and the benchmark-trajectory harness (see
 # docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares.
 bench:
-	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Figure5' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Measure|Figure5' -benchtime=1x -benchmem .
 	$(GO) run ./cmd/airbench -bench -stride 8 -skipopt -requests 300 -dist sskew \
 		$(if $(BASELINE),-baseline $(BASELINE))
 

@@ -206,6 +206,49 @@ func BenchmarkMeasure3000(b *testing.B) {
 	}
 }
 
+// measureStream1M builds the paper-default program and a million-request
+// generated stream for the streaming-engine benchmarks.
+func measureStream1M(b *testing.B) (*core.Analysis, workload.Stream) {
+	b.Helper()
+	gs := paperInstance(b)
+	prog, _, err := pamad.Build(gs, core.CeilDiv(gs.MinChannels(), 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.NewStream(gs, prog.Length(), workload.RequestConfig{Count: 1 << 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Analyze(prog), stream
+}
+
+// BenchmarkMeasureStream1M measures the serial streaming engine over a
+// million generated requests: no request slice, no sample slices.
+func BenchmarkMeasureStream1M(b *testing.B) {
+	a, stream := measureStream1M(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MeasureStream(a, stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureParallel1M measures the sharded engine at GOMAXPROCS
+// workers over the same million-request stream; the result is bit-for-bit
+// what BenchmarkMeasureStream1M's serial pass computes.
+func BenchmarkMeasureParallel1M(b *testing.B) {
+	a, stream := measureStream1M(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MeasureParallel(a, stream, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEventSimClients measures the full discrete-event client
 // simulation (airwave + eventsim) for 200 schedule-aware clients.
 func BenchmarkEventSimClients(b *testing.B) {

@@ -11,6 +11,7 @@ import (
 	"tcsa/internal/experiments"
 	"tcsa/internal/pamad"
 	"tcsa/internal/perf"
+	"tcsa/internal/sim"
 	"tcsa/internal/workload"
 )
 
@@ -68,6 +69,38 @@ func runBench(p experiments.Params, dists []workload.Distribution, cfg benchConf
 			analysis = core.Analyze(prog)
 		}
 	}), perf.SeriesChecksum([]float64{analysisFingerprint(analysis)}))
+
+	// The measurement engine over a multi-shard stream: serial and parallel
+	// samples share one generated stream, and by the engine's determinism
+	// contract they must fingerprint identically.
+	stream, err := workload.NewStream(prog.GroupSet(), prog.Length(), workload.RequestConfig{
+		Count: 2 * workload.ShardSize,
+		Seed:  p.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	var measured *sim.Metrics
+	add("Measure", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := sim.MeasureStream(analysis, stream)
+			if err != nil {
+				b.Fatal(err)
+			}
+			measured = m
+		}
+	}), perf.SeriesChecksum(metricsFloats(measured)))
+	add("MeasureParallel", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := sim.MeasureParallel(analysis, stream, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			measured = m
+		}
+	}), perf.SeriesChecksum(metricsFloats(measured)))
 
 	ctx := context.Background()
 	for _, dist := range dists {
@@ -134,6 +167,20 @@ func analysisFingerprint(a *core.Analysis) float64 {
 		return 0
 	}
 	return a.AvgDelay()
+}
+
+// metricsFloats flattens a measurement into the float sequence its
+// checksum fingerprints: the exact scalars plus the sketch quantiles, all
+// of which the engine guarantees are worker-count-independent.
+func metricsFloats(m *sim.Metrics) []float64 {
+	if m == nil {
+		return nil
+	}
+	return []float64{
+		float64(m.Requests), m.AvgWait, m.AvgDelay, m.MissRatio,
+		m.Wait.P50, m.Wait.P95, m.Wait.P99,
+		m.Delay.P50, m.Delay.P95, m.Delay.P99,
+	}
 }
 
 // seriesFloats flattens a Figure 5 series into the float sequence its

@@ -150,7 +150,7 @@ func TestRunBench(t *testing.T) {
 	if rep.Schema != perf.SchemaVersion || rep.MaxProcs < 1 || rep.GOOS == "" {
 		t.Errorf("malformed report header: %+v", rep)
 	}
-	for _, name := range []string{"AppearanceIndex", "Analyze", "Figure5/S-skewed"} {
+	for _, name := range []string{"AppearanceIndex", "Analyze", "Measure", "MeasureParallel", "Figure5/S-skewed"} {
 		s := rep.Find(name)
 		if s == nil {
 			t.Fatalf("report missing sample %q", name)
@@ -161,6 +161,12 @@ func TestRunBench(t *testing.T) {
 	}
 	if sweep := rep.Find("Figure5/S-skewed"); len(sweep.Checksum) != 16 {
 		t.Errorf("sweep sample missing series checksum: %+v", sweep)
+	}
+	// Serial and parallel measurement fingerprint the same stream: by the
+	// engine's determinism contract the checksums must match exactly.
+	serial, par := rep.Find("Measure"), rep.Find("MeasureParallel")
+	if serial.Checksum == "" || serial.Checksum != par.Checksum {
+		t.Errorf("Measure checksum %q != MeasureParallel checksum %q", serial.Checksum, par.Checksum)
 	}
 
 	// A baseline claiming a different series and fewer allocations must

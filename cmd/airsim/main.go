@@ -6,6 +6,13 @@
 //	airsim -counts 3,5,3 -t1 2 -channels 3 -requests 500
 //	airsim -dist uniform -channels 13 -mode scan
 //	airsim -dist lskew -channels 5 -abandon 1.0 -service 2 -requests 3000
+//	airsim -dist uniform -channels 13 -requests 2000000 -parallel 8
+//
+// With -parallel N > 0, the event simulation is replaced by the streaming
+// sharded sampler (sim.MeasureParallel): requests are generated on the fly
+// and measured with O(1) sample memory, so -requests can reach tens of
+// millions. The sampler is schedule-aware and lossless, so it rejects
+// -abandon, -loss, -trace and -mode scan.
 //
 // With -abandon > 0, clients give up once their wait exceeds
 // abandon * expected time and their requests are replayed against the
@@ -50,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	abandon := fs.Float64("abandon", 0, "abandon after this multiple of the expected time (0 = never)")
 	service := fs.Float64("service", 2, "on-demand service time (slots) for abandoned requests")
 	requests := fs.Int("requests", 1000, "number of client requests")
+	parallel := fs.Int("parallel", 0, "measure with the streaming sharded sampler over N workers instead of the event simulation (0 = event simulation)")
 	seed := fs.Int64("seed", 1, "request seed")
 	traceN := fs.Int("trace", 0, "print the last N simulation events")
 	loss := fs.Float64("loss", 0, "uniform frame-loss probability")
@@ -70,6 +78,42 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	if *parallel > 0 {
+		// The streaming sampler measures waits against the schedule
+		// directly; the event-simulation-only knobs don't apply to it.
+		switch {
+		case *abandon > 0:
+			return fmt.Errorf("-parallel is the streaming sampler; -abandon needs the event simulation")
+		case *loss > 0:
+			return fmt.Errorf("-parallel is the streaming sampler; -loss needs the event simulation")
+		case *traceN > 0:
+			return fmt.Errorf("-parallel is the streaming sampler; -trace needs the event simulation")
+		case *mode != "aware":
+			return fmt.Errorf("-parallel is the streaming sampler; -mode %s needs the event simulation", *mode)
+		}
+		stream, err := workload.NewStream(gs, sched.Program.Length(), workload.RequestConfig{
+			Count: *requests,
+			Seed:  *seed,
+		})
+		if err != nil {
+			return err
+		}
+		m, err := sim.MeasureParallel(core.Analyze(sched.Program), stream, *parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "instance:        %v\n", gs)
+		fmt.Fprintf(out, "scheduler:       %s over %d channels (minimum %d)\n", sched.Algorithm, n, sched.MinChannels)
+		fmt.Fprintf(out, "cycle length:    %d slots\n", sched.Program.Length())
+		fmt.Fprintf(out, "clients:         %d (streaming sampler, %d workers)\n", m.Requests, *parallel)
+		fmt.Fprintf(out, "avg wait:        %.3f slots\n", m.AvgWait)
+		fmt.Fprintf(out, "avg delay:       %.3f slots (AvgD)\n", m.AvgDelay)
+		fmt.Fprintf(out, "miss ratio:      %.3f\n", m.MissRatio)
+		fmt.Fprintf(out, "wait p95/p99:    %.1f / %.1f slots\n", m.Wait.P95, m.Wait.P99)
+		return nil
+	}
+
 	reqs, err := workload.GenerateRequests(gs, sched.Program.Length(), workload.RequestConfig{
 		Count: *requests,
 		Seed:  *seed,

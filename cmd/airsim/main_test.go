@@ -105,3 +105,35 @@ func TestRunWithLossModels(t *testing.T) {
 		t.Error("burst rate above in-fade rate accepted")
 	}
 }
+
+func TestRunParallelSampler(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-counts", "3,5,3", "-t1", "2", "-channels", "3",
+		"-requests", "70000", "-parallel", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"streaming sampler, 2 workers", "clients:         70000", "avg delay", "wait p95/p99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunParallelSamplerConflicts(t *testing.T) {
+	base := []string{"-counts", "3,5,3", "-t1", "2", "-channels", "3", "-parallel", "2"}
+	for _, extra := range [][]string{
+		{"-abandon", "1.0"},
+		{"-loss", "0.1"},
+		{"-trace", "5"},
+		{"-mode", "scan"},
+	} {
+		var out strings.Builder
+		if err := run(append(append([]string{}, base...), extra...), &out); err == nil {
+			t.Errorf("%v combined with -parallel accepted", extra)
+		}
+	}
+}

@@ -148,8 +148,14 @@ func (a *Analysis) NextAfter(id PageID, u float64) float64 {
 	return float64(cols[k]) - u
 }
 
-// ceilF is a dependency-free ceil for non-negative floats.
+// ceilF is a dependency-free ceil for non-negative floats. Values at or
+// above 2^63 never fit an int64 — that conversion is implementation-defined
+// in Go — but every float64 that large is already integral (the mantissa
+// has 52 fraction bits), so they are their own ceiling.
 func ceilF(x float64) float64 {
+	if x >= 1<<63 {
+		return x
+	}
 	i := float64(int64(x))
 	if i < x {
 		return i + 1

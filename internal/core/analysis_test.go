@@ -210,3 +210,25 @@ func TestWorstGap(t *testing.T) {
 		t.Errorf("WorstGap(absent) = %d, want cycle 8", got)
 	}
 }
+
+// TestCeilF pins the dependency-free ceiling against math.Ceil, including
+// the 2^63 boundary where a bare int64 conversion would overflow into
+// implementation-defined behaviour.
+func TestCeilF(t *testing.T) {
+	const two63 = float64(1 << 63)
+	cases := []float64{
+		0, 0.25, 0.5, 1, 1.0000001, 3.999, 4,
+		float64(1 << 52), float64(1<<52) + 0.5,
+		float64(1 << 62),
+		math.Nextafter(two63, 0), // largest float64 below 2^63
+		two63,
+		math.Nextafter(two63, math.Inf(1)),
+		float64(1) * (1 << 63) * 2, // 2^64
+		1e300,
+	}
+	for _, x := range cases {
+		if got, want := ceilF(x), math.Ceil(x); got != want {
+			t.Errorf("ceilF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}

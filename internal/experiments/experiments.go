@@ -141,9 +141,13 @@ func figure5Point(ctx context.Context, p Params, gs *core.GroupSet, n int) (*Fig
 
 // measure returns (Monte-Carlo AvgD over p.Requests, closed-form AvgD) for
 // one program. The request seed is derived from (master seed, channel
-// count, algorithm) so every point is reproducible in isolation.
+// count, algorithm) so every point is reproducible in isolation. Requests
+// are generated on the fly through the streaming engine rather than
+// materialised; for counts up to workload.ShardSize (every paper setting)
+// the stream occupies one shard and AvgD is bit-for-bit what the
+// historical GenerateRequests + MeasureAnalyzed pipeline computed.
 func measure(p Params, prog *core.Program, n, alg int) (measured, exact float64, err error) {
-	reqs, err := workload.GenerateRequests(prog.GroupSet(), prog.Length(), workload.RequestConfig{
+	stream, err := workload.NewStream(prog.GroupSet(), prog.Length(), workload.RequestConfig{
 		Count: p.Requests,
 		Seed:  p.Seed*1_000_003 + int64(n)*31 + int64(alg),
 	})
@@ -151,7 +155,7 @@ func measure(p Params, prog *core.Program, n, alg int) (measured, exact float64,
 		return 0, 0, err
 	}
 	a := core.Analyze(prog)
-	m, err := sim.MeasureAnalyzed(a, reqs)
+	m, err := sim.MeasureStream(a, stream)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"context"
+	"math"
 	"strings"
 	"testing"
 
+	"tcsa/internal/core"
+	"tcsa/internal/pamad"
 	"tcsa/internal/workload"
 )
 
@@ -145,5 +148,53 @@ func TestSweepErrorContext(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), context.Canceled.Error()) {
 		t.Errorf("error does not wrap the cause: %v", err)
+	}
+}
+
+// TestMeasurePinsLegacyPipeline: the streaming measure() reproduces the
+// historical GenerateRequests + materialised-sampler AvgD bit for bit at
+// the same derived seed — the invariant that keeps BENCH_sweep.json series
+// checksums frozen across the engine swap.
+func TestMeasurePinsLegacyPipeline(t *testing.T) {
+	p := fastParams()
+	gs, err := p.Instance(workload.SSkewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := pamad.Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alg = 0
+	reqs, err := workload.GenerateRequests(prog.GroupSet(), prog.Length(), workload.RequestConfig{
+		Count: p.Requests,
+		Seed:  p.Seed*1_000_003 + int64(3)*31 + int64(alg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Analyze(prog)
+	L := float64(prog.Length())
+	var sum float64
+	for _, r := range reqs {
+		wait := a.NextAfter(r.Page, math.Mod(r.Arrival, L))
+		delay := wait - float64(gs.TimeOf(r.Page))
+		if delay < 0 {
+			delay = 0
+		}
+		sum += delay
+	}
+	want := sum / float64(len(reqs))
+
+	got, exact, err := measure(p, prog, 3, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("measured AvgD = %v (%#x), legacy pipeline %v (%#x)",
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+	if math.Float64bits(exact) != math.Float64bits(a.AvgDelay()) {
+		t.Errorf("exact AvgD drifted: %v vs %v", exact, a.AvgDelay())
 	}
 }

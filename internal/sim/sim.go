@@ -8,7 +8,9 @@
 //     against the program's appearance structure (core.Analysis). This is
 //     what the Figure 5 reproduction uses — the paper's "3000 requests"
 //     evaluation — and it agrees with the closed-form expectation by
-//     construction.
+//     construction. It runs on a streaming, worker-sharded engine
+//     (MeasureStream / MeasureParallel) that holds O(1) sample memory
+//     regardless of the request count; see docs/perf.md.
 //   - Run: a full discrete-event simulation on the airwave substrate, with
 //     schedule-aware or blind-scanning single-tuner clients, optional frame
 //     loss, and an impatience model in which clients abandon the broadcast
@@ -19,15 +21,17 @@ package sim
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"tcsa/internal/core"
 	"tcsa/internal/stats"
 	"tcsa/internal/workload"
 )
 
-// Metrics aggregates per-request outcomes of a measurement.
+// Metrics aggregates per-request outcomes of a measurement. AvgWait,
+// AvgDelay, MissRatio and the Summary moment fields (N, Mean, StdDev, Min,
+// Max) are exact; the Summary quantiles (P50/P95/P99) from the streaming
+// sampler are stats.Sketch estimates within ~1% of the exact order
+// statistic (the full simulation in Run still reports exact quantiles).
 type Metrics struct {
 	Requests  int
 	AvgWait   float64 // mean slots from tune-in to reception
@@ -50,44 +54,11 @@ func Measure(prog *core.Program, reqs []workload.Request) (*Metrics, error) {
 }
 
 // MeasureAnalyzed is Measure for callers that already hold the Analysis
-// (e.g. sweeps that reuse it across request batches).
+// (e.g. sweeps that reuse it across request batches). It is a thin wrapper
+// over the streaming engine: the request slice is consumed through
+// workload.SliceStream and MeasureStream, so the scalar metrics and
+// Summary moments are bit-for-bit what the historical slice-based sampler
+// produced (see TestMeasureStreamPinsLegacySampler).
 func MeasureAnalyzed(a *core.Analysis, reqs []workload.Request) (*Metrics, error) {
-	if a == nil {
-		return nil, errors.New("sim: nil analysis")
-	}
-	gs := a.Program().GroupSet()
-	L := float64(a.Program().Length())
-	waits := make([]float64, 0, len(reqs))
-	delays := make([]float64, 0, len(reqs))
-	misses := 0
-	for i, r := range reqs {
-		if r.Page < 0 || int(r.Page) >= gs.Pages() {
-			return nil, fmt.Errorf("%w: request %d page %d", core.ErrPageRange, i, r.Page)
-		}
-		if r.Arrival < 0 {
-			return nil, fmt.Errorf("%w: request %d arrival %f negative", core.ErrSlotRange, i, r.Arrival)
-		}
-		// The program is cyclic, so arrivals beyond the first cycle (e.g.
-		// Poisson streams) fold back into it.
-		wait := a.NextAfter(r.Page, math.Mod(r.Arrival, L))
-		delay := wait - float64(gs.TimeOf(r.Page))
-		if delay < 0 {
-			delay = 0
-		} else if delay > 0 {
-			misses++
-		}
-		waits = append(waits, wait)
-		delays = append(delays, delay)
-	}
-	m := &Metrics{
-		Requests: len(reqs),
-		AvgWait:  stats.Mean(waits),
-		AvgDelay: stats.Mean(delays),
-		Wait:     stats.Summarize(waits),
-		Delay:    stats.Summarize(delays),
-	}
-	if len(reqs) > 0 {
-		m.MissRatio = float64(misses) / float64(len(reqs))
-	}
-	return m, nil
+	return MeasureStream(a, workload.SliceStream(reqs))
 }

@@ -121,8 +121,20 @@ func Mean(xs []float64) float64 {
 
 // Percentile returns the p-quantile (p in [0,1]) of xs by linear
 // interpolation between closest ranks; it copies and sorts internally.
+// Callers reading several quantiles of one sample should sort once and use
+// PercentileSorted (Summarize does).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted sample.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
 		return 0
 	}
 	if p < 0 {
@@ -131,8 +143,6 @@ func Percentile(xs []float64, p float64) float64 {
 	if p > 1 {
 		p = 1
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	pos := p * float64(len(sorted)-1)
 	lo := int(pos)
 	if lo == len(sorted)-1 {
@@ -154,20 +164,26 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. The sample is copied and sorted once;
+// all three quantiles read from the same sorted copy.
 func Summarize(xs []float64) Summary {
 	var o Online
 	o.AddAll(xs)
-	return Summary{
+	s := Summary{
 		N:      len(xs),
 		Mean:   o.Mean(),
 		StdDev: o.StdDev(),
 		Min:    o.Min(),
-		P50:    Percentile(xs, 0.50),
-		P95:    Percentile(xs, 0.95),
-		P99:    Percentile(xs, 0.99),
 		Max:    o.Max(),
 	}
+	if len(xs) > 0 {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		s.P50 = PercentileSorted(sorted, 0.50)
+		s.P95 = PercentileSorted(sorted, 0.95)
+		s.P99 = PercentileSorted(sorted, 0.99)
+	}
+	return s
 }
 
 // String renders the summary on one line.

@@ -23,7 +23,7 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/netcast/... ./internal/opt/... ./cmd/...
+go test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/experiments/... ./cmd/...
 
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
@@ -35,6 +35,7 @@ else
     go test -fuzz=FuzzGroupSetJSON'$'       -fuzztime="$FUZZTIME" ./internal/core/
     go test -fuzz=FuzzParseFrame'$'         -fuzztime="$FUZZTIME" ./internal/netcast/
     go test -fuzz=FuzzPAMADPlacement'$'     -fuzztime="$FUZZTIME" ./internal/pamad/
+    go test -fuzz=FuzzSketchQuantile'$'     -fuzztime="$FUZZTIME" ./internal/stats/
 fi
 
 echo "==> all checks passed"
