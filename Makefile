@@ -27,13 +27,17 @@ fuzz:
 	$(GO) test -fuzz='FuzzGroupSetJSON$$'      -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz='FuzzParseFrame$$'        -fuzztime=$(FUZZTIME) ./internal/netcast/
 	$(GO) test -fuzz='FuzzPAMADPlacement$$'    -fuzztime=$(FUZZTIME) ./internal/pamad/
+	$(GO) test -fuzz='FuzzSUSCEquivalence$$'   -fuzztime=$(FUZZTIME) ./internal/susc/
 	$(GO) test -fuzz='FuzzSketchQuantile$$'    -fuzztime=$(FUZZTIME) ./internal/stats/
 
 # Smoke the hot-path benchmarks and the benchmark-trajectory harness (see
-# docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares.
+# docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares; the
+# construction-engine report is always gated against the committed
+# BENCH_build.json baseline.
 bench:
-	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Measure|Figure5' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Measure|Figure5|SUSCBuild|PAMADBuild|OPTSearch' -benchtime=1x -benchmem .
 	$(GO) run ./cmd/airbench -bench -stride 8 -skipopt -requests 300 -dist sskew \
+		-buildout BENCH_build_new.json -buildbaseline BENCH_build.json \
 		$(if $(BASELINE),-baseline $(BASELINE))
 
 check:

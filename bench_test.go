@@ -96,6 +96,24 @@ func BenchmarkSUSCBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSUSCBuild1M measures the cursor-based construction at a million
+// pages (h=4, t=256..2048, 250k pages per group). The cursor engine places
+// whole repeat trains per page, so per-operation allocations stay
+// independent of n (pinned by TestBuildAllocsIndependentOfPages in
+// internal/susc).
+func BenchmarkSUSCBuild1M(b *testing.B) {
+	gs, err := workload.GroupSet(workload.Uniform, 4, 1_000_000, 256, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := susc.BuildMinimal(gs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPAMADFrequencies measures Algorithm 3 alone at 1/5 of the
 // minimum channels.
 func BenchmarkPAMADFrequencies(b *testing.B) {

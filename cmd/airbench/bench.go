@@ -9,18 +9,22 @@ import (
 
 	"tcsa/internal/core"
 	"tcsa/internal/experiments"
+	"tcsa/internal/opt"
 	"tcsa/internal/pamad"
 	"tcsa/internal/perf"
 	"tcsa/internal/sim"
+	"tcsa/internal/susc"
 	"tcsa/internal/workload"
 )
 
 // benchConfig carries the -bench mode flags.
 type benchConfig struct {
-	out      string  // -benchout: where to write the report
-	baseline string  // -baseline: prior report to compare against ("" = none)
-	slowdown float64 // -maxslowdown: ns/op bound for the comparison (<=0 off)
-	allocs   float64 // -maxallocgrowth: allocs/op bound (<=0 off)
+	out           string  // -benchout: where to write the report
+	baseline      string  // -baseline: prior report to compare against ("" = none)
+	buildOut      string  // -buildout: where to write the construction report ("" = skip)
+	buildBaseline string  // -buildbaseline: prior construction report ("" = none)
+	slowdown      float64 // -maxslowdown: ns/op bound for the comparison (<=0 off)
+	allocs        float64 // -maxallocgrowth: allocs/op bound (<=0 off)
 }
 
 // runBench measures the analysis and sweep hot paths with
@@ -121,27 +125,140 @@ func runBench(p experiments.Params, dists []workload.Distribution, cfg benchConf
 		add("Figure5/"+dist.String(), r, perf.SeriesChecksum(seriesFloats(series)))
 	}
 
-	if err := rep.WriteFile(cfg.out); err != nil {
+	if err := writeAndCompare(rep, cfg.out, cfg.baseline, cfg, out); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s (%d samples)\n", cfg.out, len(rep.Samples))
-
-	if cfg.baseline == "" {
+	if cfg.buildOut == "" {
 		return nil
 	}
-	base, err := perf.ReadFile(cfg.baseline)
+	buildRep, err := runBuildBench(p, out)
+	if err != nil {
+		return err
+	}
+	return writeAndCompare(buildRep, cfg.buildOut, cfg.buildBaseline, cfg, out)
+}
+
+// writeAndCompare persists one report and gates it against its baseline.
+func writeAndCompare(rep *perf.Report, path, baseline string, cfg benchConfig, out io.Writer) error {
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d samples)\n", path, len(rep.Samples))
+
+	if baseline == "" {
+		return nil
+	}
+	base, err := perf.ReadFile(baseline)
 	if err != nil {
 		return fmt.Errorf("bench: read baseline: %w", err)
 	}
 	regs := perf.Compare(base, rep, perf.Options{MaxSlowdown: cfg.slowdown, MaxAllocGrowth: cfg.allocs})
 	if len(regs) == 0 {
-		fmt.Fprintf(out, "no regressions against %s\n", cfg.baseline)
+		fmt.Fprintf(out, "no regressions against %s\n", baseline)
 		return nil
 	}
 	for _, r := range regs {
 		fmt.Fprintln(out, "REGRESSION:", r)
 	}
-	return fmt.Errorf("bench: %d regression(s) against %s", len(regs), cfg.baseline)
+	return fmt.Errorf("bench: %d regression(s) against %s", len(regs), baseline)
+}
+
+// runBuildBench measures the construction engine — the three schedulers'
+// build paths — on the paper's default instance, fingerprinting each
+// produced grid (and OPT's result vector) so the trajectory also detects
+// silent output drift, not just slowdowns.
+func runBuildBench(p experiments.Params, out io.Writer) (*perf.Report, error) {
+	rep := &perf.Report{
+		Schema:   perf.SchemaVersion,
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	gs, err := p.Instance(workload.Uniform)
+	if err != nil {
+		return nil, err
+	}
+	n := core.CeilDiv(gs.MinChannels(), 5)
+	add := func(name string, r testing.BenchmarkResult, checksum string) {
+		rep.Samples = append(rep.Samples, perf.Sample{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: int64(r.AllocsPerOp()),
+			BytesPerOp:  int64(r.AllocedBytesPerOp()),
+			Checksum:    checksum,
+		})
+		fmt.Fprintf(out, "%-24s %12.0f ns/op %10d allocs/op %12d B/op  series %s\n",
+			name, rep.Samples[len(rep.Samples)-1].NsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp(), checksum)
+	}
+
+	var suscProg *core.Program
+	add("SUSCBuild", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog, err := susc.BuildMinimal(gs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			suscProg = prog
+		}
+	}), perf.SeriesChecksum(gridFloats(suscProg)))
+
+	var pamadProg *core.Program
+	add("PAMADBuild", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog, _, err := pamad.Build(gs, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pamadProg = prog
+		}
+	}), perf.SeriesChecksum(gridFloats(pamadProg)))
+
+	ctx := context.Background()
+	var optRes *opt.Result
+	add("OPTSearch", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := opt.Search(ctx, gs, n, opt.Options{MaxFactor: p.OptMaxFactor})
+			if err != nil {
+				b.Fatal(err)
+			}
+			optRes = res
+		}
+	}), perf.SeriesChecksum(optFloats(optRes)))
+	return rep, nil
+}
+
+// gridFloats flattens a program into the float sequence its checksum
+// fingerprints: the shape, the fill count, and every cell in row-major
+// order, so any placement drift changes the series.
+func gridFloats(prog *core.Program) []float64 {
+	if prog == nil {
+		return nil
+	}
+	vals := make([]float64, 0, 3+prog.Channels()*prog.Length())
+	vals = append(vals, float64(prog.Channels()), float64(prog.Length()), float64(prog.Filled()))
+	for ch := 0; ch < prog.Channels(); ch++ {
+		for slot := 0; slot < prog.Length(); slot++ {
+			vals = append(vals, float64(prog.At(ch, slot)))
+		}
+	}
+	return vals
+}
+
+// optFloats fingerprints an OPT result by its deterministic fields (delay
+// and frequencies; Evaluated varies with worker timing).
+func optFloats(res *opt.Result) []float64 {
+	if res == nil {
+		return nil
+	}
+	vals := []float64{res.Delay}
+	for _, s := range res.Frequencies {
+		vals = append(vals, float64(s))
+	}
+	return vals
 }
 
 // paperProgram builds the instance the micro-benchmarks measure: the

@@ -10,6 +10,7 @@
 //	airbench -experiment tiebreak -dist uniform    # ablation A1
 //	airbench -experiment modelcheck -dist uniform  # ablation A3
 //	airbench -experiment optgap -dist all          # PAMAD-vs-OPT gap
+//	airbench -experiment optprune -dist uniform    # OPT pruning ablation
 //	airbench -experiment all                       # everything above
 //
 // -csv switches Figure 5 output to CSV for plotting; -stride k samples
@@ -36,7 +37,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("airbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig5", "fig2|fig3|fig4|fig5|knee|tiebreak|modelcheck|optgap|baselines|fairness|all")
+	experiment := fs.String("experiment", "fig5", "fig2|fig3|fig4|fig5|knee|tiebreak|modelcheck|optgap|optprune|baselines|fairness|all")
 	dist := fs.String("dist", "all", "uniform|normal|lskew|sskew|all")
 	requests := fs.Int("requests", 3000, "requests per measured point (paper: 3000)")
 	seed := fs.Int64("seed", 1, "master seed")
@@ -48,6 +49,8 @@ func run(args []string, out io.Writer) error {
 	bench := fs.Bool("bench", false, "measure the hot paths and write a benchmark-trajectory report instead of running experiments")
 	benchout := fs.String("benchout", "BENCH_sweep.json", "report path for -bench")
 	baseline := fs.String("baseline", "", "prior -bench report to compare against; regressions fail the run")
+	buildout := fs.String("buildout", "BENCH_build.json", "construction-engine report path for -bench (empty = skip)")
+	buildbaseline := fs.String("buildbaseline", "", "prior construction-engine report to compare against")
 	maxSlowdown := fs.Float64("maxslowdown", 0, "fail -baseline comparison when ns/op grows beyond this factor (0 = ignore wall time)")
 	maxAllocGrowth := fs.Float64("maxallocgrowth", 1.5, "fail -baseline comparison when allocs/op grows beyond this factor (0 = ignore)")
 	if err := fs.Parse(args); err != nil {
@@ -66,10 +69,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *bench {
 		return runBench(p, dists, benchConfig{
-			out:      *benchout,
-			baseline: *baseline,
-			slowdown: *maxSlowdown,
-			allocs:   *maxAllocGrowth,
+			out:           *benchout,
+			baseline:      *baseline,
+			buildOut:      *buildout,
+			buildBaseline: *buildbaseline,
+			slowdown:      *maxSlowdown,
+			allocs:        *maxAllocGrowth,
 		}, out)
 	}
 	ctx := context.Background()
@@ -157,6 +162,14 @@ func run(args []string, out io.Writer) error {
 				}
 				fmt.Fprintln(out, experiments.RenderFairness(d, pts))
 			}
+		case "optprune":
+			for _, d := range dists {
+				pts, err := experiments.AblateOptPruning(ctx, p, d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(out, experiments.RenderOptPrune(d, pts))
+			}
 		case "optgap":
 			var gaps []*experiments.OptGap
 			for _, d := range dists {
@@ -174,7 +187,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig3", "fig2", "fig5", "knee", "tiebreak", "modelcheck", "optgap", "baselines", "fairness"} {
+		for _, name := range []string{"fig4", "fig3", "fig2", "fig5", "knee", "tiebreak", "modelcheck", "optgap", "optprune", "baselines", "fairness"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func placeRepeatsProgram(t *testing.T) *Program {
+	t.Helper()
+	gs := MustGroupSet([]Group{{Time: 2, Count: 2}, {Time: 4, Count: 3}})
+	prog, err := NewProgram(gs, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestPlaceRepeatsMatchesPlace(t *testing.T) {
+	bulk := placeRepeatsProgram(t)
+	cellwise := placeRepeatsProgram(t)
+	if err := bulk.PlaceRepeats(1, 1, 2, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 4; k++ {
+		if err := cellwise.Place(1, 1+2*k, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Filled() != cellwise.Filled() {
+		t.Errorf("Filled = %d, want %d", bulk.Filled(), cellwise.Filled())
+	}
+	for ch := 0; ch < 2; ch++ {
+		for slot := 0; slot < 8; slot++ {
+			if bulk.At(ch, slot) != cellwise.At(ch, slot) {
+				t.Errorf("cell (%d,%d) = %d, want %d", ch, slot, bulk.At(ch, slot), cellwise.At(ch, slot))
+			}
+		}
+	}
+}
+
+func TestPlaceRepeatsRejectsBadPatterns(t *testing.T) {
+	prog := placeRepeatsProgram(t)
+	cases := []struct {
+		name                     string
+		ch, first, period, count int
+		id                       PageID
+		want                     error
+	}{
+		{"zero period", 0, 0, 0, 2, 0, ErrSlotRange},
+		{"zero count", 0, 0, 2, 0, 0, ErrSlotRange},
+		{"channel out of range", 2, 0, 2, 1, 0, ErrSlotRange},
+		{"pattern past cycle end", 0, 1, 4, 3, 0, ErrSlotRange},
+		{"negative first", 0, -1, 2, 1, 0, ErrSlotRange},
+		{"page out of range", 0, 0, 2, 1, 99, ErrPageRange},
+	}
+	for _, tc := range cases {
+		if err := prog.PlaceRepeats(tc.ch, tc.first, tc.period, tc.count, tc.id); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if prog.Filled() != 0 {
+		t.Errorf("failed PlaceRepeats modified the program: Filled = %d", prog.Filled())
+	}
+}
+
+// TestPlaceRepeatsAtomicOnCollision: a pattern whose later cell collides
+// must leave every cell untouched, including the ones before the collision.
+func TestPlaceRepeatsAtomicOnCollision(t *testing.T) {
+	prog := placeRepeatsProgram(t)
+	if err := prog.Place(0, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.PlaceRepeats(0, 0, 2, 4, 2); !errors.Is(err, ErrSlotOccupied) {
+		t.Fatalf("err = %v, want ErrSlotOccupied", err)
+	}
+	if prog.Filled() != 1 {
+		t.Errorf("Filled = %d, want 1 (atomic failure)", prog.Filled())
+	}
+	if prog.At(0, 0) != None || prog.At(0, 2) != None {
+		t.Error("collision left partial pattern behind")
+	}
+}

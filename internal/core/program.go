@@ -116,6 +116,37 @@ func (p *Program) Place(ch, slot int, id PageID) error {
 	return nil
 }
 
+// PlaceRepeats assigns page id to the Theorem 3.3 repetition pattern
+// first, first+period, ..., first+(count-1)*period on channel ch. It is the
+// bulk counterpart of Place for schedule construction: the channel, page and
+// slot range are validated once for the whole pattern instead of once per
+// cell, and the cells are written directly. If any target cell is occupied
+// nothing is modified.
+func (p *Program) PlaceRepeats(ch, first, period, count int, id PageID) error {
+	if period < 1 || count < 1 {
+		return fmt.Errorf("%w: repeat pattern period %d count %d", ErrSlotRange, period, count)
+	}
+	last := first + (count-1)*period
+	if !p.InRange(ch, first) || last >= p.length {
+		return fmt.Errorf("%w: repeats (%d,%d..%d step %d) in %dx%d program",
+			ErrSlotRange, ch, first, last, period, p.channels, p.length)
+	}
+	if id < 0 || int(id) >= p.gs.Pages() {
+		return fmt.Errorf("%w: %d (n=%d)", ErrPageRange, id, p.gs.Pages())
+	}
+	row := p.grid[ch*p.length : (ch+1)*p.length]
+	for slot := first; slot <= last; slot += period {
+		if row[slot] != None {
+			return fmt.Errorf("%w: (%d,%d) holds page %d", ErrSlotOccupied, ch, slot, row[slot])
+		}
+	}
+	for slot := first; slot <= last; slot += period {
+		row[slot] = id
+	}
+	p.filled += count
+	return nil
+}
+
 // Clear empties cell (ch, slot); clearing an empty cell is a no-op.
 func (p *Program) Clear(ch, slot int) {
 	if !p.InRange(ch, slot) {

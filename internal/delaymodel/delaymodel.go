@@ -101,14 +101,36 @@ func StageDelayTotal(gs *core.GroupSet, s Frequencies, stage, nReal, total int) 
 	return prefixDelay(gs, s, stage, nReal, total)
 }
 
+// SuffixDelayTotal evaluates only groups from..h-1 (0-based) of the D'
+// objective at transmission total F = total: the contribution
+// sum_{i>=from} (S_i*P_i/F) * d_i with gap and t_major derived from total
+// and nReal. The OPT branch-and-bound uses it as its admissible lower bound:
+// with the suffix frequencies fixed, each group's contribution is
+// non-decreasing in F, so evaluating the suffix at the minimum reachable F
+// never overestimates. Like the other evaluators, an inconsistent total
+// yields a meaningless (not unsafe) number.
+func SuffixDelayTotal(gs *core.GroupSet, s Frequencies, from, nReal, total int) float64 {
+	if nReal < 1 || from < 0 || len(s) > gs.Len() {
+		return 0
+	}
+	return rangeDelay(gs, s, from, len(s), nReal, total)
+}
+
 func prefixDelay(gs *core.GroupSet, s Frequencies, h, nReal, f int) float64 {
+	return rangeDelay(gs, s, 0, h, nReal, f)
+}
+
+// rangeDelay sums the D' contributions of groups lo..hi-1 at transmission
+// total f. The lo=0 path is the historical prefixDelay evaluation and is
+// pinned bit-for-bit by the package equivalence tests.
+func rangeDelay(gs *core.GroupSet, s Frequencies, lo, hi, nReal, f int) float64 {
 	if f == 0 {
 		return 0
 	}
 	tMajor := float64(core.CeilDiv(f, nReal))
 	total := float64(f)
 	var d float64
-	for i := 0; i < h; i++ {
+	for i := lo; i < hi; i++ {
 		si := float64(s[i])
 		ti := float64(gs.Group(i).Time)
 		gap := total / (float64(nReal) * si)

@@ -1,0 +1,86 @@
+package delaymodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+func randomInstance(rng *rand.Rand) (*core.GroupSet, Frequencies, int) {
+	h := 1 + rng.Intn(5)
+	groups := make([]core.Group, h)
+	tt := 1 + rng.Intn(4)
+	for i := 0; i < h; i++ {
+		groups[i] = core.Group{Time: tt, Count: 1 + rng.Intn(40)}
+		tt *= 2 + rng.Intn(3)
+	}
+	gs := core.MustGroupSet(groups)
+	s := make(Frequencies, h)
+	for i := range s {
+		s[i] = 1 + rng.Intn(8)
+	}
+	return gs, s, 1 + rng.Intn(8)
+}
+
+// TestSuffixDecomposition: the whole-vector objective splits into a prefix
+// stage evaluation plus the suffix contribution at the same total F.
+func TestSuffixDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		gs, s, nReal := randomInstance(rng)
+		f := s.TotalSlots(gs)
+		whole := GroupDelay(gs, s, nReal)
+		for cut := 0; cut <= gs.Len(); cut++ {
+			prefix := 0.0
+			if cut > 0 {
+				prefix = StageDelayTotal(gs, s, cut, nReal, f)
+			}
+			split := prefix + SuffixDelayTotal(gs, s, cut, nReal, f)
+			if math.Abs(split-whole) > 1e-12*(1+math.Abs(whole)) {
+				t.Fatalf("cut %d: prefix+suffix = %g, whole = %g (gs=%v s=%v n=%d)",
+					cut, split, whole, gs, s, nReal)
+			}
+		}
+	}
+}
+
+// TestSuffixMonotoneInTotal pins the admissibility property the OPT
+// branch-and-bound relies on: with the suffix frequencies fixed, the suffix
+// contribution never decreases as the transmission total F grows.
+func TestSuffixMonotoneInTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		gs, s, nReal := randomInstance(rng)
+		from := rng.Intn(gs.Len() + 1)
+		base := s.TotalSlots(gs)
+		prev := SuffixDelayTotal(gs, s, from, nReal, base)
+		for f := base + 1; f <= base+64; f++ {
+			cur := SuffixDelayTotal(gs, s, from, nReal, f)
+			// t_major = ceil(F/N) rounds up, so consecutive integers share a
+			// cycle length while gap grows strictly: allow only increases
+			// beyond a relative rounding margin.
+			if cur < prev-1e-12*(1+math.Abs(prev)) {
+				t.Fatalf("suffix delay decreased: F=%d %g -> F=%d %g (gs=%v s=%v from=%d n=%d)",
+					f-1, prev, f, cur, gs, s, from, nReal)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestSuffixZeroCases: empty suffix and zero total contribute nothing.
+func TestSuffixZeroCases(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 4, Count: 3}})
+	s := Frequencies{2, 1}
+	if d := SuffixDelayTotal(gs, s, gs.Len(), 2, s.TotalSlots(gs)); d != 0 {
+		t.Errorf("empty suffix = %g, want 0", d)
+	}
+	if d := SuffixDelayTotal(gs, s, 0, 2, 0); d != 0 {
+		t.Errorf("zero total = %g, want 0", d)
+	}
+	if d := SuffixDelayTotal(gs, s, -1, 2, 7); d != 0 {
+		t.Errorf("negative from = %g, want 0", d)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"tcsa/internal/core"
 	"tcsa/internal/delaymodel"
+	"tcsa/internal/opt"
 	"tcsa/internal/pamad"
 	"tcsa/internal/sim"
 	"tcsa/internal/workload"
@@ -174,6 +175,65 @@ func AblateOptGap(ctx context.Context, p Params, dist workload.Distribution) (*O
 		return nil, err
 	}
 	return OptGapFromSeries(s)
+}
+
+// OptPruneStat records one channel count of the OPT pruning ablation: the
+// exact-evaluation counts of the exhaustive and branch-and-bound searches,
+// which return bit-identical results by construction (verified on every
+// point).
+type OptPruneStat struct {
+	Channels   int
+	Delay      float64 // analytic D' of the (shared) optimum
+	Exhaustive int64   // candidates scored by the full Cartesian scan
+	Pruned     int64   // candidates scored by the branch-and-bound search
+	Reduction  float64 // Exhaustive / Pruned
+}
+
+// AblateOptPruning sweeps the channel counts comparing the pruned OPT
+// search against the exhaustive reference scan: identical results (any
+// divergence is an error), with the evaluated-node reduction recorded per
+// point. Searches run at Parallelism 1 so the counts are deterministic;
+// docs/perf.md reports the measured reduction.
+func AblateOptPruning(ctx context.Context, p Params, dist workload.Distribution) ([]OptPruneStat, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	gs, err := p.Instance(dist)
+	if err != nil {
+		return nil, err
+	}
+	serial := opt.Options{MaxFactor: p.OptMaxFactor, Parallelism: 1}
+	exhaustive := serial
+	exhaustive.Exhaustive = true
+	var out []OptPruneStat
+	for n := 1; n <= gs.MinChannels(); n += p.ChannelStride {
+		pruned, err := opt.Search(ctx, gs, n, serial)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at %d channels: %w", dist, n, err)
+		}
+		full, err := opt.Search(ctx, gs, n, exhaustive)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at %d channels: %w", dist, n, err)
+		}
+		if pruned.Delay != full.Delay {
+			return nil, fmt.Errorf("experiments: %s at %d channels: pruned delay %v != exhaustive %v",
+				dist, n, pruned.Delay, full.Delay)
+		}
+		for i := range full.Frequencies {
+			if pruned.Frequencies[i] != full.Frequencies[i] {
+				return nil, fmt.Errorf("experiments: %s at %d channels: pruned %v != exhaustive %v",
+					dist, n, pruned.Frequencies, full.Frequencies)
+			}
+		}
+		out = append(out, OptPruneStat{
+			Channels:   n,
+			Delay:      full.Delay,
+			Exhaustive: full.Evaluated,
+			Pruned:     pruned.Evaluated,
+			Reduction:  float64(full.Evaluated) / float64(pruned.Evaluated),
+		})
+	}
+	return out, nil
 }
 
 // OptGapFromSeries derives the gap summary from an existing Figure 5

@@ -272,6 +272,35 @@ func TestAblateOptGap(t *testing.T) {
 	}
 }
 
+// TestAblateOptPruning: the pruned OPT search agrees with the exhaustive
+// scan on every sweep point (the ablation itself errors on any divergence)
+// while evaluating at least an order of magnitude fewer candidates on the
+// paper's instance.
+func TestAblateOptPruning(t *testing.T) {
+	p := fastParams()
+	p.ChannelStride = 16
+	pts, err := AblateOptPruning(context.Background(), p, workload.Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.Pruned < 1 || pt.Exhaustive < pt.Pruned {
+			t.Errorf("channels=%d: evaluation counts %d pruned vs %d exhaustive out of range",
+				pt.Channels, pt.Pruned, pt.Exhaustive)
+		}
+		if pt.Reduction < 10 {
+			t.Errorf("channels=%d: reduction %.0fx below the 10x floor", pt.Channels, pt.Reduction)
+		}
+	}
+	out := RenderOptPrune(workload.Uniform, pts)
+	if !strings.Contains(out, "pruned evals") {
+		t.Errorf("render missing column: %s", out)
+	}
+}
+
 func abs(x float64) float64 {
 	if x < 0 {
 		return -x

@@ -118,6 +118,20 @@ func RenderModelCheck(dist fmt.Stringer, pts []ModelPoint) string {
 	return b.String()
 }
 
+// RenderOptPrune renders the OPT pruning ablation sweep.
+func RenderOptPrune(dist fmt.Stringer, pts []OptPruneStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — OPT branch-and-bound vs exhaustive scan, %v distribution (identical results)\n", dist)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "channels\tD'\texhaustive evals\tpruned evals\treduction\t")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%d\t%.3f\t%d\t%d\t%.0fx\t\n",
+			pt.Channels, pt.Delay, pt.Exhaustive, pt.Pruned, pt.Reduction)
+	}
+	_ = w.Flush() // cannot fail: flushes into the in-memory builder
+	return b.String()
+}
+
 // RenderOptGap renders the greedy-vs-exhaustive gap summaries.
 func RenderOptGap(gaps []*OptGap) string {
 	var b strings.Builder

@@ -10,9 +10,10 @@ import (
 // FuzzPAMADPlacement drives arbitrary group shapes and channel budgets
 // through the full PAMAD pipeline (Algorithm 3 + 4) and asserts the
 // placement invariants: Build never fails on a valid instance, every page
-// is placed exactly S_i times, the grid bookkeeping is consistent, and in
-// the sufficient-channel regime the SUSC program for the same instance is
-// valid (Theorem 3.1).
+// is placed exactly S_i times, the grid bookkeeping is consistent, the
+// chain-skipping PlaceEvenly matches the retained literal Algorithm 4
+// reference cell for cell, and in the sufficient-channel regime the SUSC
+// program for the same instance is valid (Theorem 3.1).
 func FuzzPAMADPlacement(f *testing.F) {
 	f.Add(2, 2, uint8(3), uint8(5), uint8(3), 3) // Figure 2, one channel short
 	f.Add(2, 2, uint8(3), uint8(5), uint8(3), 4) // Figure 2 at the Theorem 3.1 minimum
@@ -62,6 +63,21 @@ func FuzzPAMADPlacement(f *testing.F) {
 				if got := prog.CountOf(id); got != s[gi] {
 					t.Fatalf("page %d placed %d times, want S_%d=%d (gs=%v, n=%d)",
 						id, got, gi+1, s[gi], gs, nReal)
+				}
+			}
+		}
+		ref, _, err := placeEvenlyReference(gs, s, nReal)
+		if err != nil {
+			t.Fatalf("placeEvenlyReference(%v, %v, %d): %v", gs, s, nReal, err)
+		}
+		if prog.Filled() != ref.Filled() {
+			t.Fatalf("fast Filled %d, reference %d", prog.Filled(), ref.Filled())
+		}
+		for ch := 0; ch < nReal; ch++ {
+			for slot := 0; slot < res.MajorCycle; slot++ {
+				if prog.At(ch, slot) != ref.At(ch, slot) {
+					t.Fatalf("cell (%d,%d) = %d, reference %d (gs=%v, s=%v, n=%d)",
+						ch, slot, prog.At(ch, slot), ref.At(ch, slot), gs, s, nReal)
 				}
 			}
 		}

@@ -20,6 +20,41 @@ type PlacementStats struct {
 	EmptySlots int
 }
 
+// colChain is a path-compressed union-find over columns answering "first
+// column >= c with a free cell" in near-O(1) amortized time. chain[c] points
+// toward that column; a free column is its own root. Index tMajor is a
+// sentinel root meaning "no free column at or after c". When a column
+// saturates it is linked to its successor, so repeated scans never re-walk
+// full columns — this replaces the linear window and spill scans of the
+// literal Algorithm 4 (retained in placeEvenlyReference).
+type colChain []int32
+
+func newColChain(tMajor int) colChain {
+	cc := make(colChain, tMajor+1)
+	for i := range cc {
+		cc[i] = int32(i)
+	}
+	return cc
+}
+
+// find returns the first free column >= c, or len(cc)-1 (the sentinel) when
+// every column at or after c is full.
+func (cc colChain) find(c int) int {
+	root := c
+	for int(cc[root]) != root {
+		root = int(cc[root])
+	}
+	for int(cc[c]) != root {
+		c, cc[c] = int(cc[c]), int32(root)
+	}
+	return root
+}
+
+// markFull links a saturated column to its successor.
+func (cc colChain) markFull(c int) {
+	cc[c] = int32(c + 1)
+}
+
 // PlaceEvenly is Algorithm 4 of the paper: given per-group broadcast
 // frequencies, build the broadcast program that spreads every page's S_i
 // appearances evenly over the major cycle. Pages are placed in descending
@@ -28,6 +63,14 @@ type PlacementStats struct {
 // channel slot, column-major. If the window is exhausted the scan continues
 // cyclically (counted in PlacementStats.Spills); a free slot always exists
 // because t_major was sized to hold all F transmissions.
+//
+// The implementation derives the target channel arithmetically — columns
+// fill bottom-up and cells are never cleared, so the first empty channel of
+// column c is exactly nReal - freeInCol[c] — and skips saturated columns
+// through a union-find successor chain, making each placement O(α(t_major))
+// amortized instead of O(window + N). placeEvenlyReference retains the
+// literal scanning algorithm; the package differential tests and
+// FuzzPAMADPlacement pin the two cell for cell.
 //
 // The same placement routine serves both PAMAD and the m-PB baseline, as in
 // the paper's experimental setup ("assignment of data to multiple channels
@@ -47,12 +90,13 @@ func PlaceEvenly(gs *core.GroupSet, s delaymodel.Frequencies, nReal int) (*core.
 		return nil, stats, err
 	}
 
-	// freeInCol[c] tracks how many empty cells column c still has, so the
-	// spill scan can skip saturated columns in O(1) per column.
+	// freeInCol[c] tracks how many empty cells column c still has; the
+	// chain answers "first non-saturated column >= c" without scanning.
 	freeInCol := make([]int, tMajor)
 	for c := range freeInCol {
 		freeInCol[c] = nReal
 	}
+	chain := newColChain(tMajor)
 
 	// Descending frequency order; ties resolved by group order (ascending
 	// expected time), preserving the paper's sort stability.
@@ -70,20 +114,33 @@ func PlaceEvenly(gs *core.GroupSet, s delaymodel.Frequencies, nReal int) (*core.
 			for k := 0; k < si; k++ {
 				start := core.CeilDiv(tMajor*k, si)
 				end := core.CeilDiv(tMajor*(k+1), si)
-				col, ok := findFreeColumn(freeInCol, start, end)
-				if !ok {
+				col := chain.find(start)
+				if col >= end {
+					// Nothing free inside the window: spill cyclically from
+					// its end. end <= t_major (k < S_i), and wrapping to
+					// find(0) matches the cyclic scan because when every
+					// column >= end is full the first free column overall
+					// precedes end.
 					stats.Spills++
-					col, ok = findFreeColumnCyclic(freeInCol, end, tMajor)
-					if !ok {
+					col = chain.find(end)
+					if col == tMajor {
+						col = chain.find(0)
+					}
+					if col == tMajor {
 						return nil, stats, fmt.Errorf(
 							"pamad: no free slot for page %d appearance %d/%d (t_major=%d, F=%d, N=%d)",
 							id, k+1, si, tMajor, s.TotalSlots(gs), nReal)
 					}
 				}
-				if err := placeInColumn(prog, col, id); err != nil {
+				// Columns fill bottom-up and are never cleared, so the first
+				// empty channel is determined by the fill count alone.
+				if err := prog.Place(nReal-freeInCol[col], col, id); err != nil {
 					return nil, stats, err
 				}
 				freeInCol[col]--
+				if freeInCol[col] == 0 {
+					chain.markFull(col)
+				}
 			}
 		}
 	}
@@ -102,11 +159,19 @@ func findFreeColumn(freeInCol []int, start, end int) (int, bool) {
 }
 
 // findFreeColumnCyclic scans from column `from` wrapping around the cycle.
+// The wrap uses an overflow reset instead of a `%` per probe.
 func findFreeColumnCyclic(freeInCol []int, from, tMajor int) (int, bool) {
+	c := from
+	if c >= tMajor {
+		c -= tMajor
+	}
 	for step := 0; step < tMajor; step++ {
-		c := (from + step) % tMajor
 		if freeInCol[c] > 0 {
 			return c, true
+		}
+		c++
+		if c == tMajor {
+			c = 0
 		}
 	}
 	return 0, false

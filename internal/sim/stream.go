@@ -28,10 +28,10 @@ const sketchResolution = 1 << 20
 // are plain left-to-right sums so that a single-shard stream reproduces
 // the historical stats.Mean arithmetic bit for bit.
 type partial struct {
-	wait, delay        stats.Online
-	waitSum, delaySum  float64
-	misses             int64
-	err                error
+	wait, delay       stats.Online
+	waitSum, delaySum float64
+	misses            int64
+	err               error
 }
 
 // pageCursor tracks the appearance-column position of one page while a

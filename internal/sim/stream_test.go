@@ -52,7 +52,7 @@ func legacyMeasure(t *testing.T, a *core.Analysis, reqs []workload.Request) *Met
 func requireBitwiseCore(t *testing.T, label string, got, want *Metrics) {
 	t.Helper()
 	type field struct {
-		name     string
+		name      string
 		got, want float64
 	}
 	fields := []field{
@@ -216,7 +216,7 @@ func TestMeasureParallelDeterminism(t *testing.T) {
 			}
 			requireBitwiseCore(t, label, par, serial)
 			for _, q := range []struct {
-				name     string
+				name      string
 				got, want float64
 			}{
 				{"Wait.P50", par.Wait.P50, serial.Wait.P50},

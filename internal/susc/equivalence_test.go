@@ -1,0 +1,102 @@
+package susc
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// gridsEqual compares two programs cell for cell.
+func gridsEqual(t *testing.T, got, want *core.Program) {
+	t.Helper()
+	if got.Channels() != want.Channels() || got.Length() != want.Length() {
+		t.Fatalf("grid shape %dx%d, want %dx%d",
+			got.Channels(), got.Length(), want.Channels(), want.Length())
+	}
+	if got.Filled() != want.Filled() {
+		t.Fatalf("Filled = %d, want %d", got.Filled(), want.Filled())
+	}
+	for ch := 0; ch < want.Channels(); ch++ {
+		for slot := 0; slot < want.Length(); slot++ {
+			if got.At(ch, slot) != want.At(ch, slot) {
+				t.Fatalf("cell (%d,%d) = %d, want %d\nfast:\n%s\nreference:\n%s",
+					ch, slot, got.At(ch, slot), want.At(ch, slot), got, want)
+			}
+		}
+	}
+}
+
+// TestBuildMatchesReference pins the cursor builder byte-for-byte against the
+// literal Algorithm 2 builder on randomized instances, at the minimum channel
+// count and with slack channels.
+func TestBuildMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 400; trial++ {
+		gs := randomGroupSet(rng)
+		channels := gs.MinChannels() + rng.Intn(3)
+		fast, err := Build(gs, channels)
+		if err != nil {
+			t.Fatalf("Build(%v, %d): %v", gs, channels, err)
+		}
+		ref, err := buildReference(gs, channels)
+		if err != nil {
+			t.Fatalf("buildReference(%v, %d): %v", gs, channels, err)
+		}
+		gridsEqual(t, fast, ref)
+	}
+}
+
+// TestBuildMatchesReferencePaperScale checks the equivalence on the paper's
+// default workload (n=1000, h=8, t=4..512) rather than only on small random
+// shapes.
+func TestBuildMatchesReferencePaperScale(t *testing.T) {
+	groups := make([]core.Group, 8)
+	tt := 4
+	for i := range groups {
+		groups[i] = core.Group{Time: tt, Count: 125}
+		tt *= 2
+	}
+	gs := core.MustGroupSet(groups)
+	fast, err := BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := buildReference(gs, gs.MinChannels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridsEqual(t, fast, ref)
+}
+
+// TestBuildAllocsIndependentOfPages guards the O(1)-allocation claim: the
+// cursor builder performs the same handful of allocations (the Program and
+// its grid) no matter how many pages the instance has.
+func TestBuildAllocsIndependentOfPages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting in -short mode")
+	}
+	instance := func(per int) *core.GroupSet {
+		groups := make([]core.Group, 4)
+		tt := 64
+		for i := range groups {
+			groups[i] = core.Group{Time: tt, Count: per}
+			tt *= 2
+		}
+		return core.MustGroupSet(groups)
+	}
+	measure := func(gs *core.GroupSet) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := BuildMinimal(gs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := measure(instance(100)), measure(instance(10000))
+	if small != large {
+		t.Errorf("allocs grew with page count: %.1f at 400 pages, %.1f at 40000 pages", small, large)
+	}
+	if large > 4 {
+		t.Errorf("allocs = %.1f, want <= 4 (program header + grid)", large)
+	}
+}

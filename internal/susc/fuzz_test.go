@@ -1,0 +1,52 @@
+package susc
+
+import (
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// FuzzSUSCEquivalence differentially fuzzes the cursor builder against the
+// retained Algorithm 2 reference across random valid group sets and channel
+// counts: identical grids cell for cell, and a valid program at any channel
+// budget at or above the Theorem 3.1 minimum.
+func FuzzSUSCEquivalence(f *testing.F) {
+	f.Add(2, 2, uint8(2), uint8(3), uint8(0), 0) // Section 3.1 example
+	f.Add(2, 2, uint8(3), uint8(5), uint8(3), 1) // Figure 2 shape, one slack channel
+	f.Add(1, 3, uint8(1), uint8(0), uint8(9), 0) // unit period first group
+	f.Add(4, 2, uint8(125), uint8(125), uint8(125), 2)
+	f.Add(64, 8, uint8(255), uint8(255), uint8(255), 5)
+	f.Fuzz(func(t *testing.T, t1, c int, p1, p2, p3 uint8, slack int) {
+		// Bound the shape so a single case stays fast; Geometric rejects
+		// the remaining invalid inputs itself.
+		if t1 > 64 || c > 8 || slack < 0 || slack > 8 {
+			return
+		}
+		var counts []int
+		for _, p := range []uint8{p1, p2, p3} {
+			if p > 0 {
+				counts = append(counts, int(p))
+			}
+		}
+		if len(counts) == 0 {
+			return
+		}
+		gs, err := core.Geometric(t1, c, counts)
+		if err != nil {
+			return
+		}
+		channels := gs.MinChannels() + slack
+		fast, err := Build(gs, channels)
+		if err != nil {
+			t.Fatalf("Build(%v, %d): %v", gs, channels, err)
+		}
+		ref, err := buildReference(gs, channels)
+		if err != nil {
+			t.Fatalf("buildReference(%v, %d): %v", gs, channels, err)
+		}
+		gridsEqual(t, fast, ref)
+		if err := fast.Validate(); err != nil {
+			t.Fatalf("invalid program for %v at %d channels: %v", gs, channels, err)
+		}
+	})
+}

@@ -11,10 +11,19 @@
 //  3. from its first slot the page repeats every t_i slots on the same
 //     channel (Theorem 3.3), t_h/t_i appearances per cycle.
 //
-// Theorem 3.2 guarantees step 2 always finds a slot when the channel count
-// meets the bound; Build converts a violation of that guarantee (impossible
-// for valid inputs, by the theorem) into an internal error rather than a
-// panic, so the invariant is machine-checked on every run.
+// Build realises that greedy fill without the per-page channel-major rescan
+// of the literal Algorithm 2 (retained as buildReference): because every
+// earlier group's period divides the current one's, the occupied cells of a
+// channel always form whole residue classes modulo the current period, so a
+// channel the scan moves past is completely full and the scan never needs to
+// revisit it. A monotone (channel, slot) cursor therefore reproduces
+// Algorithm 2's placements exactly in O(cells) total time — see the package
+// tests and FuzzSUSCEquivalence, which pin the two builders cell for cell.
+//
+// Theorem 3.2 guarantees a slot always exists when the channel count meets
+// the bound; Build converts a violation of that guarantee (impossible for
+// valid inputs, by the theorem) into an internal error rather than a panic,
+// so the invariant is machine-checked on every run.
 package susc
 
 import (
@@ -27,6 +36,11 @@ import (
 // broadcast channels and cycle length t_h. It fails with
 // core.ErrInsufficientChannels when channels is below the Theorem 3.1
 // minimum; pass gs.MinChannels() to use the proven-optimal channel count.
+//
+// The construction is O(cells) — one grid write per placed repeat plus a
+// bounded scan on the at most one partially-filled channel each group
+// inherits — and allocates only the program itself, independent of the page
+// count (guarded by TestBuildAllocsIndependentOfPages).
 func Build(gs *core.GroupSet, channels int) (*core.Program, error) {
 	if gs == nil {
 		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
@@ -42,31 +56,64 @@ func Build(gs *core.GroupSet, channels int) (*core.Program, error) {
 		return nil, err
 	}
 
-	// nextFree[x] is a per-channel search hint: every slot before it on
-	// channel x is occupied. Pages are placed in ascending t_i order and a
-	// page's repeats never occupy a slot before its first appearance, so
-	// slots below the hint can never free up during the build.
-	nextFree := make([]int, channels)
-
+	// Cursor invariants, maintained across groups:
+	//
+	//   x     — the active channel. Channels < x hold no free slot at all:
+	//           the scan only leaves a channel when no slot below the current
+	//           period t is free, and since every occupied cell belongs to a
+	//           full residue class mod t (periods divide along the chain),
+	//           "no free slot below t" means "no free slot anywhere".
+	//   f     — the first free slot on channel x; every slot before f is
+	//           occupied. f never decreases, because placements at slot
+	//           y >= f only add cells at y + k*t >= f.
+	//   dirty — whether channel x carries pages of an earlier group. On a
+	//           clean channel the current group has filled exactly slots
+	//           0..f-1 and its repeats land at t_i or beyond, so the next
+	//           free slot is f itself and the whole group fill is
+	//           closed-form: consecutive slots, no probing. On a dirty
+	//           channel earlier groups' residue classes (and this group's
+	//           own repeats, once placed off-grid-aligned) interleave, so f
+	//           is re-established by probing the grid forward. Only the
+	//           single partial channel each group hands to the next is ever
+	//           dirty, so probing touches at most h-1 channels, O(t_h)
+	//           cells each.
+	x, f := 0, 0
+	dirty := false
 	for i := 0; i < gs.Len(); i++ {
 		g := gs.Group(i)
 		repeats := th / g.Time
 		for j := 0; j < g.Count; j++ {
-			id := gs.PageAt(i, j)
-			x, y, ok := getAvailableSlot(prog, nextFree, g.Time)
-			if !ok {
-				// Unreachable for validated inputs (Theorem 3.2); kept as a
-				// defensive check so a future regression fails loudly.
-				return nil, fmt.Errorf("%w: no slot for page %d (group %d, t=%d) — Theorem 3.2 violated",
-					core.ErrInsufficientChannels, id, i+1, g.Time)
-			}
-			for k := 0; k < repeats; k++ {
-				if err := prog.Place(x, y+k*g.Time, id); err != nil {
-					return nil, fmt.Errorf("susc: placing page %d repeat %d: %w", id, k, err)
+			for f >= g.Time {
+				// No free slot below t_i: by the residue-class argument the
+				// channel is completely full, so hand the cursor a fresh one.
+				x, f, dirty = x+1, 0, false
+				if x >= channels {
+					// Unreachable for validated inputs (Theorem 3.2); kept as
+					// a defensive check so a future regression fails loudly.
+					return nil, fmt.Errorf("%w: no slot for page %d (group %d, t=%d) — Theorem 3.2 violated",
+						core.ErrInsufficientChannels, gs.PageAt(i, j), i+1, g.Time)
 				}
 			}
-			for nextFree[x] < th && prog.At(x, nextFree[x]) != core.None {
-				nextFree[x]++
+			if err := prog.PlaceRepeats(x, f, g.Time, repeats, gs.PageAt(i, j)); err != nil {
+				return nil, fmt.Errorf("susc: placing page %d: %w", gs.PageAt(i, j), err)
+			}
+			f++
+			if dirty {
+				// Occupied residue classes interleave with ours: probe
+				// forward to the next free cell. f is monotone per channel,
+				// so this costs O(t_h) per dirty channel in total.
+				for f < th && prog.At(x, f) != core.None {
+					f++
+				}
+			}
+		}
+		// The channel this group leaves partial is inherited dirty, and the
+		// finished group's own repeats (at y + k*t_i >= t_i >= f) may now
+		// occupy the cell at f, so re-establish the first-free invariant.
+		if f > 0 && !dirty {
+			dirty = true
+			for f < th && prog.At(x, f) != core.None {
+				f++
 			}
 		}
 	}
@@ -79,18 +126,4 @@ func BuildMinimal(gs *core.GroupSet) (*core.Program, error) {
 		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
 	}
 	return Build(gs, gs.MinChannels())
-}
-
-// getAvailableSlot is Algorithm 2: scan channel x = 0..N-1, slot
-// y = 0..t-1, returning the first empty cell. nextFree provides a
-// monotone per-channel lower bound on the first free slot.
-func getAvailableSlot(p *core.Program, nextFree []int, t int) (x, y int, ok bool) {
-	for x = 0; x < p.Channels(); x++ {
-		for y = nextFree[x]; y < t; y++ {
-			if p.At(x, y) == core.None {
-				return x, y, true
-			}
-		}
-	}
-	return 0, 0, false
 }
