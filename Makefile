@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet airvet test race fuzz bench check
+.PHONY: build vet airvet test race fuzz bench chaos check
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,10 @@ airvet:
 	$(GO) run ./cmd/airvet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/experiments/... ./cmd/...
+	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
 
 fuzz:
 	$(GO) test -fuzz='FuzzRearrange$$'         -fuzztime=$(FUZZTIME) ./internal/core/
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzPAMADPlacement$$'    -fuzztime=$(FUZZTIME) ./internal/pamad/
 	$(GO) test -fuzz='FuzzSUSCEquivalence$$'   -fuzztime=$(FUZZTIME) ./internal/susc/
 	$(GO) test -fuzz='FuzzSketchQuantile$$'    -fuzztime=$(FUZZTIME) ./internal/stats/
+	$(GO) test -fuzz='FuzzChaosDeterminism$$'  -fuzztime=$(FUZZTIME) ./internal/chaos/
 
 # Smoke the hot-path benchmarks and the benchmark-trajectory harness (see
 # docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares; the
@@ -39,6 +40,12 @@ bench:
 	$(GO) run ./cmd/airbench -bench -stride 8 -skipopt -requests 300 -dist sskew \
 		-buildout BENCH_build_new.json -buildbaseline BENCH_build.json \
 		$(if $(BASELINE),-baseline $(BASELINE))
+
+# Chaos determinism smoke: regenerate the chaos trajectory and gate it
+# against the committed BENCH_chaos.json (zero-fault identity + pinned
+# faulted fingerprint). See docs/testing.md.
+chaos:
+	$(GO) run ./cmd/airbench -chaos -chaosout BENCH_chaos_new.json -chaosbaseline BENCH_chaos.json
 
 check:
 	FUZZTIME=$(FUZZTIME) scripts/check.sh

@@ -12,6 +12,7 @@
 //	airbench -experiment optgap -dist all          # PAMAD-vs-OPT gap
 //	airbench -experiment optprune -dist uniform    # OPT pruning ablation
 //	airbench -experiment all                       # everything above
+//	airbench -chaos -chaosbaseline BENCH_chaos.json  # chaos determinism gate
 //
 // -csv switches Figure 5 output to CSV for plotting; -stride k samples
 // every k-th channel count to trade resolution for speed.
@@ -47,6 +48,9 @@ func run(args []string, out io.Writer) error {
 	plot := fs.Bool("plot", false, "append an ASCII chart per fig5 subplot")
 	workers := fs.Int("parallel", 0, "fan fig5 channel counts over this many workers (0 = GOMAXPROCS)")
 	bench := fs.Bool("bench", false, "measure the hot paths and write a benchmark-trajectory report instead of running experiments")
+	chaosBench := fs.Bool("chaos", false, "measure the chaos fault-injection engine (zero-fault identity + canonical fault mix) and write a chaos trajectory report")
+	chaosout := fs.String("chaosout", "BENCH_chaos.json", "report path for -chaos")
+	chaosbaseline := fs.String("chaosbaseline", "", "prior -chaos report to compare against; drift fails the run")
 	benchout := fs.String("benchout", "BENCH_sweep.json", "report path for -bench")
 	baseline := fs.String("baseline", "", "prior -bench report to compare against; regressions fail the run")
 	buildout := fs.String("buildout", "BENCH_build.json", "construction-engine report path for -bench (empty = skip)")
@@ -66,6 +70,14 @@ func run(args []string, out io.Writer) error {
 	dists, err := parseDists(*dist)
 	if err != nil {
 		return err
+	}
+	if *chaosBench {
+		return runChaosBench(p, chaosConfig{
+			out:      *chaosout,
+			baseline: *chaosbaseline,
+			slowdown: *maxSlowdown,
+			allocs:   *maxAllocGrowth,
+		}, out)
 	}
 	if *bench {
 		return runBench(p, dists, benchConfig{

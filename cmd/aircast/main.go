@@ -9,6 +9,12 @@
 // frames it had to observe — the real waiting time in slots):
 //
 //	aircast -fetch 127.0.0.1:41234 -page 4 -timeout 3s
+//
+// Serve through a deterministic fault injector (chaos): frame loss, burst
+// erasures, server stalls and corruption, all replayable from -chaosseed:
+//
+//	aircast -serve -counts 3,5,3 -chaos -loss 0.1 -burst 0.05,0.25,0,0.8 \
+//	        -stall 64/4 -corrupt 0.02 -chaosseed 7
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"tcsa"
+	"tcsa/internal/chaos"
 	"tcsa/internal/core"
 	"tcsa/internal/netcast"
 	"tcsa/internal/workload"
@@ -51,13 +58,29 @@ func run(args []string, out io.Writer) error {
 	t1 := fs.Int("t1", 4, "smallest expected time")
 	ratio := fs.Int("ratio", 2, "geometric ratio c")
 	channels := fs.Int("channels", 0, "channel budget (0 = minimum)")
+	chaosOn := fs.Bool("chaos", false, "serve through a deterministic fault injector")
+	loss := fs.Float64("loss", 0, "per-(channel,slot) i.i.d. frame-loss probability (with -chaos)")
+	corrupt := fs.Float64("corrupt", 0, "per-(channel,slot) frame-corruption probability (with -chaos)")
+	stall := fs.String("stall", "", "server stall window as every/for slots, e.g. 64/4 (with -chaos)")
+	burst := fs.String("burst", "", "Gilbert-Elliott burst loss as g2b,b2g,lossgood,lossbad (with -chaos)")
+	chaosSeed := fs.Int64("chaosseed", 1, "fault-injector seed; same seed replays the same faults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *chaosOn && !*serve {
+		return fmt.Errorf("-chaos requires -serve")
+	}
+
 	switch {
 	case *serve:
-		return runServe(out, *counts, *dist, *pages, *groups, *t1, *ratio, *channels, *slot, *duration)
+		var mk faultMaker
+		if *chaosOn {
+			mk = func(channels, length int) (netcast.FaultInjector, error) {
+				return buildPlan(*chaosSeed, *loss, *corrupt, *stall, *burst, channels, length)
+			}
+		}
+		return runServe(out, *counts, *dist, *pages, *groups, *t1, *ratio, *channels, *slot, *duration, mk)
 	case *fetch != "":
 		return runFetch(out, *fetch, core.PageID(*page), *timeout)
 	case *smart != "":
@@ -75,10 +98,36 @@ func runSmart(out io.Writer, scheduleAddr string, page core.PageID, timeout time
 	fmt.Fprintf(out, "received page %d: %d active frames, dozed %d slots (%.1fms total)\n",
 		res.Page, res.ActiveFrames, res.DozedSlots,
 		float64(res.Elapsed.Microseconds())/1000)
+	if res.Replans > 0 || res.BadFrames > 0 {
+		fmt.Fprintf(out, "channel was lossy: %d replans, %d corrupted frames discarded\n",
+			res.Replans, res.BadFrames)
+	}
 	return nil
 }
 
-func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, channels int, slot, duration time.Duration) error {
+// faultMaker builds a fault injector once the program's shape is known.
+type faultMaker func(channels, length int) (netcast.FaultInjector, error)
+
+// buildPlan assembles the chaos plan the -chaos flag family describes.
+func buildPlan(seed int64, loss, corrupt float64, stall, burst string, channels, length int) (netcast.FaultInjector, error) {
+	cfg := chaos.Config{Seed: seed, Loss: loss, Corrupt: corrupt}
+	if stall != "" {
+		if _, err := fmt.Sscanf(stall, "%d/%d", &cfg.StallEvery, &cfg.StallFor); err != nil {
+			return nil, fmt.Errorf("parsing -stall %q (want every/for): %w", stall, err)
+		}
+	}
+	if burst != "" {
+		b := &chaos.BurstConfig{}
+		if _, err := fmt.Sscanf(burst, "%g,%g,%g,%g",
+			&b.GoodToBad, &b.BadToGood, &b.LossGood, &b.LossBad); err != nil {
+			return nil, fmt.Errorf("parsing -burst %q (want g2b,b2g,lossgood,lossbad): %w", burst, err)
+		}
+		cfg.Burst = b
+	}
+	return chaos.NewPlan(cfg, channels, length)
+}
+
+func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, channels int, slot, duration time.Duration, mk faultMaker) error {
 	gs, err := buildInstance(counts, dist, pages, groups, t1, ratio)
 	if err != nil {
 		return err
@@ -91,12 +140,23 @@ func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, chan
 	if err != nil {
 		return err
 	}
-	srv, err := netcast.NewServer(sched.Program, netcast.ServerConfig{SlotDuration: slot})
+	srvCfg := netcast.ServerConfig{SlotDuration: slot}
+	if mk != nil {
+		fault, err := mk(sched.Program.Channels(), sched.Program.Length())
+		if err != nil {
+			return err
+		}
+		srvCfg.Fault = fault
+	}
+	srv, err := netcast.NewServer(sched.Program, srvCfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "broadcasting %v with %s over %d channels, cycle %d slots, slot %v\n",
 		gs, sched.Algorithm, n, sched.Program.Length(), slot)
+	if srvCfg.Fault != nil {
+		fmt.Fprintln(out, "fault injection on: frames may stall, drop, or arrive corrupted")
+	}
 	for ch, addr := range srv.ChannelAddrs() {
 		fmt.Fprintf(out, "channel %d: %v\n", ch, addr)
 	}
@@ -116,6 +176,11 @@ func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, chan
 		return err
 	}
 	fmt.Fprintf(out, "stopped after %d slots\n", srv.Slot())
+	if srvCfg.Fault != nil {
+		f := srv.Faults()
+		fmt.Fprintf(out, "faults injected: %d stalled slots, %d dropped frames, %d corrupted frames\n",
+			f.StalledSlots, f.DroppedFrames, f.CorruptFrames)
+	}
 	return nil
 }
 

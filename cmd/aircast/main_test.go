@@ -138,3 +138,54 @@ func TestSmartFetchEndToEnd(t *testing.T) {
 		t.Fatal("server did not stop")
 	}
 }
+
+func TestServeChaosEndToEnd(t *testing.T) {
+	// Serve through the fault injector at a loss rate low enough that the
+	// fetch still succeeds, and verify the fault summary is reported.
+	var serveOut syncBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-serve", "-counts", "2,3", "-t1", "2", "-slot", "2ms", "-duration", "1500ms",
+			"-chaos", "-loss", "0.2", "-corrupt", "0.05", "-stall", "16/2",
+			"-burst", "0.05,0.25,0,0.8", "-chaosseed", "7",
+		}, &serveOut)
+	}()
+
+	addr := waitForAddr(t, &serveOut)
+	var fetchOut strings.Builder
+	if err := run([]string{"-fetch", addr, "-page", "0", "-timeout", "3s"}, &fetchOut); err != nil {
+		t.Fatalf("fetch under chaos: %v (server output: %s)", err, serveOut.String())
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop at -duration")
+	}
+	out := serveOut.String()
+	if !strings.Contains(out, "fault injection on") {
+		t.Errorf("server never announced fault injection: %q", out)
+	}
+	if !strings.Contains(out, "faults injected:") {
+		t.Errorf("server never reported fault stats: %q", out)
+	}
+}
+
+func TestChaosFlagErrors(t *testing.T) {
+	tests := [][]string{
+		{"-chaos"}, // without -serve
+		{"-serve", "-counts", "2,3", "-t1", "2", "-chaos", "-stall", "bogus"},
+		{"-serve", "-counts", "2,3", "-t1", "2", "-chaos", "-burst", "0.1"},
+		{"-serve", "-counts", "2,3", "-t1", "2", "-chaos", "-loss", "1.5"},
+	}
+	for _, args := range tests {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

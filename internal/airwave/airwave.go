@@ -12,6 +12,7 @@ package airwave
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"tcsa/internal/core"
 	"tcsa/internal/eventsim"
@@ -38,12 +39,20 @@ func WithDropFunc(f DropFunc) Option {
 	return func(m *Medium) { m.drop = f }
 }
 
+// WithSlotJitter delays each slot's transmission by jitter(slot) slots,
+// with values in [0, 0.5] so consecutive slots never reorder. nil keeps
+// the exact fixed-period clock (the default).
+func WithSlotJitter(jitter func(slot int) float64) Option {
+	return func(m *Medium) { m.jitter = jitter }
+}
+
 // Medium is the on-air broadcast system: it replays a program cyclically,
 // one column per slot, delivering frames to tuned receivers.
 type Medium struct {
 	sim     *eventsim.Simulator
 	prog    *core.Program
 	drop    DropFunc
+	jitter  func(slot int) float64
 	tuners  []*Tuner // insertion order, for deterministic delivery
 	tuned   []int    // per-slot snapshot of tuner channels (scratch)
 	slot    int
@@ -92,13 +101,34 @@ func (m *Medium) Start() error {
 	if first < m.sim.Now() {
 		first++
 	}
-	return m.sim.Periodic(first, 1, func(float64) bool {
+	tick := func(float64) bool {
 		if m.stopped {
 			return false
 		}
 		m.transmit()
 		return true
-	})
+	}
+	if m.jitter == nil {
+		return m.sim.Periodic(first, 1, tick)
+	}
+	// Jittered clock: slot k is transmitted at first + k + jitter(k), so
+	// the interval after tick k bridges to the next jittered boundary.
+	// clampJ keeps a misbehaving jitter source from reordering slots.
+	return m.sim.PeriodicVar(first+clampJ(m.jitter(0)), func(k int) float64 {
+		return 1 + clampJ(m.jitter(k+1)) - clampJ(m.jitter(k))
+	}, tick)
+}
+
+// clampJ bounds a jitter offset to [0, 0.5] — the contract of
+// WithSlotJitter — so inter-slot intervals stay positive.
+func clampJ(j float64) float64 {
+	if j < 0 || math.IsNaN(j) {
+		return 0
+	}
+	if j > 0.5 {
+		return 0.5
+	}
+	return j
 }
 
 // Stop ends transmission after the current slot.

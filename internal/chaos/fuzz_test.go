@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"tcsa/internal/core"
+	"tcsa/internal/sim"
+	"tcsa/internal/susc"
+	"tcsa/internal/workload"
+)
+
+// FuzzChaosDeterminism fuzzes the determinism contract itself: for any
+// fault configuration, (a) the same seed replays the identical trace
+// digest, ledger and metrics, (b) the result is identical at 1 and 4
+// workers, and (c) an inactive configuration reproduces
+// sim.MeasureParallel bit-for-bit.
+func FuzzChaosDeterminism(f *testing.F) {
+	gs, err := core.Geometric(4, 2, []int{3, 5, 9})
+	if err != nil {
+		f.Fatalf("Geometric: %v", err)
+	}
+	prog, err := susc.Build(gs, gs.MinChannels())
+	if err != nil {
+		f.Fatalf("susc.Build: %v", err)
+	}
+	a := core.Analyze(prog)
+	stream, err := workload.NewStream(gs, prog.Length(), workload.RequestConfig{
+		Count: 1500, Seed: 404, Choice: workload.UniformPages,
+	})
+	if err != nil {
+		f.Fatalf("NewStream: %v", err)
+	}
+
+	f.Add(int64(1), uint16(0), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0), false)
+	f.Add(int64(7), uint16(1<<14), uint16(100), uint16(3000), uint16(2000), uint8(40), uint8(3), true)
+	f.Add(int64(-9), uint16(0xffff), uint16(0), uint16(0), uint16(0), uint8(0), uint8(0), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, loss, corrupt, churn, jitter uint16, stallEvery, stallFor uint8, burst bool) {
+		cfg := Config{
+			Seed:    seed,
+			Loss:    float64(loss) / (1 << 16),
+			Corrupt: float64(corrupt) / (1 << 16),
+			Churn:   float64(churn) / (1 << 16),
+			Jitter:  float64(jitter) / (1 << 17), // <= 0.5
+		}
+		if stallEvery > 0 && int(stallFor) < int(stallEvery) {
+			cfg.StallEvery, cfg.StallFor = int(stallEvery), int(stallFor)
+		}
+		if burst {
+			cfg.Burst = &BurstConfig{GoodToBad: 0.05, BadToGood: 0.25, LossBad: 0.8}
+		}
+		if cfg.Loss > 0.9 {
+			cfg.MaxCycles = 4 // keep near-total loss cheap: every walk hits the bound fast
+		}
+		r1, err := RunParallel(a, stream, cfg, 1)
+		if err != nil {
+			t.Fatalf("run 1: %v", err)
+		}
+		r2, err := RunParallel(a, stream, cfg, 4)
+		if err != nil {
+			t.Fatalf("run 2: %v", err)
+		}
+		if r1.TraceDigest != r2.TraceDigest {
+			t.Fatalf("digest drift across workers: %#x != %#x", r1.TraceDigest, r2.TraceDigest)
+		}
+		if r1.Ledger != r2.Ledger {
+			t.Fatalf("ledger drift across workers: %+v != %+v", r1.Ledger, r2.Ledger)
+		}
+		if math.Float64bits(r1.AvgWait) != math.Float64bits(r2.AvgWait) ||
+			math.Float64bits(r1.AvgDelay) != math.Float64bits(r2.AvgDelay) ||
+			math.Float64bits(r1.Wait.Max) != math.Float64bits(r2.Wait.Max) {
+			t.Fatalf("metric drift across workers: %+v != %+v", r1.Metrics, r2.Metrics)
+		}
+		r3, err := RunParallel(a, stream, cfg, 1)
+		if err != nil {
+			t.Fatalf("run 3: %v", err)
+		}
+		if r3.TraceDigest != r1.TraceDigest {
+			t.Fatalf("digest drift across replays: %#x != %#x", r1.TraceDigest, r3.TraceDigest)
+		}
+		if !cfg.Active() {
+			want, err := sim.MeasureParallel(a, stream, 2)
+			if err != nil {
+				t.Fatalf("MeasureParallel: %v", err)
+			}
+			if math.Float64bits(r1.AvgWait) != math.Float64bits(want.AvgWait) ||
+				math.Float64bits(r1.AvgDelay) != math.Float64bits(want.AvgDelay) {
+				t.Fatalf("inactive config diverged from MeasureParallel: %+v != %+v",
+					r1.Metrics, *want)
+			}
+		}
+	})
+}

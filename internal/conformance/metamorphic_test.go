@@ -1,0 +1,141 @@
+package conformance_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/conformance"
+	"tcsa/internal/core"
+	"tcsa/internal/sim"
+	"tcsa/internal/susc"
+	"tcsa/internal/workload"
+)
+
+// TestScalingMetamorphic checks the density-preserving scaling relation:
+// multiplying every expected time AND every page count by the same factor
+// c leaves each group's density P_i/t_i — and therefore the Theorem 3.1
+// channel count — unchanged, and SUSC must still produce a fully
+// conformant program on the scaled instance.
+func TestScalingMetamorphic(t *testing.T) {
+	instances := []*core.GroupSet{
+		core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}}),
+		core.MustGroupSet([]core.Group{{Time: 3, Count: 7}}),
+		core.MustGroupSet([]core.Group{{Time: 2, Count: 2}, {Time: 6, Count: 9}, {Time: 12, Count: 4}}),
+	}
+	for _, gs := range instances {
+		base := conformance.MinChannelLaw(gs)
+		for _, c := range []int{2, 3, 5} {
+			groups := make([]core.Group, gs.Len())
+			for i := range groups {
+				g := gs.Group(i)
+				groups[i] = core.Group{Time: c * g.Time, Count: c * g.Count}
+			}
+			scaled := core.MustGroupSet(groups)
+			if got := conformance.MinChannelLaw(scaled); got != base {
+				t.Errorf("%v scaled by %d: MinChannelLaw %d, want %d (density preserved)",
+					gs, c, got, base)
+			}
+			prog, err := susc.BuildMinimal(scaled)
+			if err != nil {
+				t.Errorf("%v scaled by %d: SUSC failed: %v", gs, c, err)
+				continue
+			}
+			if prog.Channels() != base {
+				t.Errorf("%v scaled by %d: built %d channels, want %d", gs, c, prog.Channels(), base)
+			}
+			for _, oracle := range []func(*core.Program) error{
+				conformance.ValidFromAnyStart,
+				conformance.PeriodicSpacing,
+				conformance.SlotOccupancy,
+			} {
+				if err := oracle(prog); err != nil {
+					t.Errorf("%v scaled by %d: %v", gs, c, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPagePermutationMetamorphic checks relabeling invariance: permuting
+// page identities within a group (and co-permuting the request stream)
+// must leave the simulator's delay metrics bit-for-bit unchanged — the
+// metrics depend on each page's appearance columns and expected time,
+// both of which the within-group permutation preserves.
+func TestPagePermutationMetamorphic(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+	prog, err := susc.BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.GenerateRequests(gs, prog.Length(), workload.RequestConfig{
+		Count: 4000, Seed: 99, Choice: workload.UniformPages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.Measure(prog, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		perm := withinGroupPermutation(gs, rng)
+		permProg, err := relabel(prog, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		permReqs := make([]workload.Request, len(reqs))
+		for i, r := range reqs {
+			permReqs[i] = workload.Request{Page: perm[r.Page], Arrival: r.Arrival}
+		}
+		got, err := sim.Measure(permProg, permReqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.AvgWait) != math.Float64bits(base.AvgWait) ||
+			math.Float64bits(got.AvgDelay) != math.Float64bits(base.AvgDelay) ||
+			math.Float64bits(got.MissRatio) != math.Float64bits(base.MissRatio) ||
+			math.Float64bits(got.Wait.Max) != math.Float64bits(base.Wait.Max) {
+			t.Errorf("trial %d: metrics drifted under page relabeling: %+v != %+v",
+				trial, got, base)
+		}
+	}
+}
+
+// withinGroupPermutation draws a page permutation that only moves pages
+// inside their own group.
+func withinGroupPermutation(gs *core.GroupSet, rng *rand.Rand) []core.PageID {
+	perm := make([]core.PageID, gs.Pages())
+	start := 0
+	for i := 0; i < gs.Len(); i++ {
+		n := gs.Group(i).Count
+		order := rng.Perm(n)
+		for j, k := range order {
+			perm[start+j] = core.PageID(start + k)
+		}
+		start += n
+	}
+	return perm
+}
+
+// relabel builds the program with every cell's page mapped through perm.
+func relabel(prog *core.Program, perm []core.PageID) (*core.Program, error) {
+	out, err := core.NewProgram(prog.GroupSet(), prog.Channels(), prog.Length())
+	if err != nil {
+		return nil, err
+	}
+	for ch := 0; ch < prog.Channels(); ch++ {
+		for slot := 0; slot < prog.Length(); slot++ {
+			id := prog.At(ch, slot)
+			if id == core.None {
+				continue
+			}
+			if err := out.Place(ch, slot, perm[id]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -76,6 +76,36 @@ func (s *Simulator) Periodic(start, interval float64, fn func(t float64) bool) e
 	return s.At(start, tick)
 }
 
+// PeriodicVar schedules fn at start and then after interval(k) slots
+// following its k-th firing (k counts from 0), for as long as fn returns
+// true. It is Periodic with a per-tick interval — the substrate for slot
+// jitter, where consecutive slot boundaries are not exactly one slot
+// apart. interval must return positive values; a non-positive interval
+// stops the train (fn is not called again), so a buggy jitter source
+// degrades to silence instead of looping at a frozen clock.
+func (s *Simulator) PeriodicVar(start float64, interval func(k int) float64, fn func(t float64) bool) error {
+	if interval == nil {
+		return errors.New("eventsim: nil interval function")
+	}
+	if fn == nil {
+		return errors.New("eventsim: nil event function")
+	}
+	k := 0
+	var tick func()
+	tick = func() {
+		if !fn(s.now) {
+			return
+		}
+		d := interval(k)
+		k++
+		if d <= 0 {
+			return
+		}
+		_ = s.After(d, tick)
+	}
+	return s.At(start, tick)
+}
+
 // Step executes the earliest pending event, advancing the clock to its
 // time. It returns false when the queue is empty.
 func (s *Simulator) Step() bool {

@@ -206,3 +206,53 @@ func TestOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPeriodicVar(t *testing.T) {
+	var s Simulator
+	// Intervals 1, 2, 3, ... : tick k fires at 0, 1, 3, 6 (triangular).
+	var fired []float64
+	err := s.PeriodicVar(0, func(k int) float64 { return float64(k + 1) }, func(at float64) bool {
+		fired = append(fired, at)
+		return len(fired) < 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []float64{0, 1, 3, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestPeriodicVarStopsOnNonPositiveInterval(t *testing.T) {
+	var s Simulator
+	ticks := 0
+	err := s.PeriodicVar(0, func(k int) float64 { return float64(1 - k) }, func(float64) bool {
+		ticks++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// interval(0)=1 bridges to the second tick; interval(1)=0 ends the
+	// train even though fn keeps returning true.
+	if s.Run() == 0 || ticks != 2 {
+		t.Errorf("ticks = %d, want 2", ticks)
+	}
+}
+
+func TestPeriodicVarRejectsNil(t *testing.T) {
+	var s Simulator
+	if err := s.PeriodicVar(0, nil, func(float64) bool { return false }); err == nil {
+		t.Error("nil interval accepted")
+	}
+	if err := s.PeriodicVar(0, func(int) float64 { return 1 }, nil); err == nil {
+		t.Error("nil function accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"tcsa/internal/conformance"
 	"tcsa/internal/core"
 	"tcsa/internal/pamad"
 )
@@ -32,13 +33,9 @@ func TestBuildFigure2Insufficient(t *testing.T) {
 	if prog.Length() != 9 {
 		t.Errorf("t_major = %d, want 9", prog.Length())
 	}
-	if prog.Filled() != 25 {
-		t.Errorf("filled = %d, want 25", prog.Filled())
-	}
-	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
-		if got, want := prog.CountOf(id), res.Frequencies[gs.GroupOf(id)]; got != want {
-			t.Errorf("page %d broadcast %d times, want %d", id, got, want)
-		}
+	if err := conformance.SpillAccounting(prog, res.Frequencies,
+		conformance.PlacementCounts(res.Placement)); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -53,12 +50,15 @@ func TestBuildErrors(t *testing.T) {
 
 // TestBuildSufficientChannelsIsValid: at N >= MinChannels, m-PB's
 // frequencies are the SUSC frequencies and the program meets every
-// expected time.
+// expected time from any tuning instant (conformance oracle).
 func TestBuildSufficientChannelsIsValid(t *testing.T) {
 	gs := fig2()
 	prog, _, err := Build(gs, gs.MinChannels())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if err := conformance.ValidFromAnyStart(prog); err != nil {
+		t.Error(err)
 	}
 	if d := core.Analyze(prog).AvgDelay(); d != 0 {
 		t.Errorf("AvgDelay at sufficient channels = %f, want 0", d)

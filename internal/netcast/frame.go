@@ -22,8 +22,12 @@ import (
 
 // Wire format constants.
 const (
-	frameMagic   uint16 = 0x7C5A // "tcsa"
-	frameVersion byte   = 1
+	frameMagic uint16 = 0x7C5A // "tcsa"
+	// frameVersion 2 adds a 16-bit payload checksum in the bytes version 1
+	// reserved; parseFrame still accepts checksum-less version-1 frames
+	// from older senders.
+	frameVersion   byte = 2
+	frameVersionV1 byte = 1
 	// FrameSize is the fixed encoded size of a Frame in bytes.
 	FrameSize = 16
 )
@@ -34,12 +38,28 @@ var ErrBadFrame = errors.New("netcast: bad frame")
 // Frame is one slot's transmission on one channel.
 //
 // Encoding (big endian): magic(2) version(1) flags(1) channel(2)
-// reserved(2) slot(4) page(4). Page -1 (empty slot) is carried as the
-// two's-complement pattern.
+// checksum(2) slot(4) page(4). Page -1 (empty slot) is carried as the
+// two's-complement pattern. The checksum is frameSum over the other 14
+// bytes; version-1 frames carried zeros there and are accepted unchecked.
 type Frame struct {
 	Channel int
 	Slot    uint32
 	Page    core.PageID
+}
+
+// frameSum is a 16-bit FNV-1a fold over the frame bytes outside the
+// checksum field: cheap enough for a per-slot hot path, strong enough
+// that a corrupted payload byte is caught (a single flipped bit always
+// changes the fold).
+func frameSum(b []byte) uint16 {
+	h := uint32(2166136261)
+	for i, c := range b {
+		if i == 6 || i == 7 {
+			continue // the checksum's own slot
+		}
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return uint16(h>>16) ^ uint16(h)
 }
 
 // appendFrame encodes f onto buf.
@@ -51,6 +71,7 @@ func appendFrame(buf []byte, f Frame) []byte {
 	binary.BigEndian.PutUint16(b[4:6], uint16(f.Channel))
 	binary.BigEndian.PutUint32(b[8:12], f.Slot)
 	binary.BigEndian.PutUint32(b[12:16], uint32(f.Page))
+	binary.BigEndian.PutUint16(b[6:8], frameSum(b[:]))
 	return append(buf, b[:]...)
 }
 
@@ -62,7 +83,14 @@ func parseFrame(b []byte) (Frame, error) {
 	if binary.BigEndian.Uint16(b[0:2]) != frameMagic {
 		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, b[0:2])
 	}
-	if b[2] != frameVersion {
+	switch b[2] {
+	case frameVersion:
+		if got, want := binary.BigEndian.Uint16(b[6:8]), frameSum(b); got != want {
+			return Frame{}, fmt.Errorf("%w: checksum %#04x, computed %#04x", ErrBadFrame, got, want)
+		}
+	case frameVersionV1:
+		// Pre-checksum wire format: nothing further to verify.
+	default:
 		return Frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, b[2])
 	}
 	return Frame{

@@ -6,10 +6,23 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcsa/internal/core"
 )
+
+// FaultInjector decides, per absolute slot, whether the server's
+// transmission is impaired. The contract matches chaos.Plan so a
+// deterministic fault schedule drives the real UDP broadcaster with no
+// adapter: Stalled silences every channel for the slot, Drop suppresses
+// one channel's frame, Corrupt flips a payload byte after the checksum
+// is computed so tuners detect and discard the frame.
+type FaultInjector interface {
+	Stalled(slot int) bool
+	Drop(channel, slot int) bool
+	Corrupt(channel, slot int) bool
+}
 
 // ServerConfig tunes a Server.
 type ServerConfig struct {
@@ -20,6 +33,17 @@ type ServerConfig struct {
 	// Host is the interface to bind, default "127.0.0.1". One UDP socket is
 	// opened per broadcast channel on an ephemeral port.
 	Host string
+	// Fault, when non-nil, injects transmission faults per slot. The slot
+	// counter still advances during a stall: broadcast time is locked to
+	// the wall clock, a stalled server simply wastes its slots.
+	Fault FaultInjector
+}
+
+// FaultStats counts the faults a Server has injected so far.
+type FaultStats struct {
+	StalledSlots  int64 // whole slots silenced across all channels
+	DroppedFrames int64 // per-channel frames suppressed
+	CorruptFrames int64 // per-channel frames sent with a flipped byte
 }
 
 // Server replays a broadcast program over UDP, one socket per channel, one
@@ -28,6 +52,11 @@ type Server struct {
 	prog    *core.Program
 	slotDur time.Duration
 	conns   []*net.UDPConn
+	fault   FaultInjector
+
+	stalledSlots  atomic.Int64
+	droppedFrames atomic.Int64
+	corruptFrames atomic.Int64
 
 	mu   sync.Mutex
 	subs []map[string]*net.UDPAddr // per channel, keyed by addr string
@@ -64,6 +93,7 @@ func NewServer(prog *core.Program, cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		prog:    prog,
 		slotDur: cfg.SlotDuration,
+		fault:   cfg.Fault,
 		subs:    make([]map[string]*net.UDPAddr, prog.Channels()),
 		snaps:   make([][]*net.UDPAddr, prog.Channels()),
 		targets: make([][]*net.UDPAddr, prog.Channels()),
@@ -114,6 +144,16 @@ func (s *Server) Slot() uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.slot
+}
+
+// Faults reports the faults injected so far. Safe to call concurrently
+// with Run.
+func (s *Server) Faults() FaultStats {
+	return FaultStats{
+		StalledSlots:  s.stalledSlots.Load(),
+		DroppedFrames: s.droppedFrames.Load(),
+		CorruptFrames: s.corruptFrames.Load(),
+	}
 }
 
 // Run transmits until ctx is cancelled or Stop is called. It owns the
@@ -210,10 +250,24 @@ func (s *Server) transmit() {
 	copy(s.targets, s.snaps)
 	s.mu.Unlock()
 
+	if s.fault != nil && s.fault.Stalled(int(slot)) {
+		s.stalledSlots.Add(1)
+		return
+	}
 	col := s.prog.Column(int(slot))
 	for ch := range s.conns {
+		if s.fault != nil && s.fault.Drop(ch, int(slot)) {
+			s.droppedFrames.Add(1)
+			continue
+		}
 		f := Frame{Channel: ch, Slot: slot, Page: s.prog.At(ch, col)}
 		s.frame = appendFrame(s.frame[:0], f)
+		if s.fault != nil && s.fault.Corrupt(ch, int(slot)) {
+			// Flip a page byte after the checksum was computed: the frame
+			// goes out damaged and every tuner's parseFrame rejects it.
+			s.frame[13] ^= 0xA5
+			s.corruptFrames.Add(1)
+		}
 		for _, addr := range s.targets[ch] {
 			// Best-effort, like the air: a failed send is a lost frame.
 			_, _ = s.conns[ch].WriteToUDP(s.frame, addr)

@@ -17,6 +17,12 @@ type SmartResult struct {
 	ActiveFrames int
 	// DozedSlots is how many slots the radio slept through.
 	DozedSlots int
+	// Replans counts missed appearances: the expected frame never arrived
+	// (dropped, stalled, or rejected by the checksum), so the client
+	// re-synchronised off the live stream and dozed to the next one.
+	Replans int
+	// BadFrames counts corrupted datagrams the tuner discarded.
+	BadFrames int
 	// Elapsed is the wall-clock fetch duration.
 	Elapsed time.Duration
 }
@@ -27,6 +33,14 @@ type SmartResult struct {
 // just before it, then wake and capture it. The doze margin absorbs timer
 // jitter; two slots is ample for the millisecond-scale slots used in
 // tests.
+//
+// When the expected frame never arrives — dropped on a lossy channel,
+// silenced by a server stall, or rejected by the frame checksum — the
+// client replans: it re-synchronises off whatever the channel is
+// currently carrying, locates the page's following appearance and dozes
+// to that, repeating until the page lands or timeout expires. Each
+// missed appearance costs one schedule period of latency but keeps the
+// radio asleep in between, so the energy story survives the loss.
 func SmartFetch(scheduleAddr string, page core.PageID, timeout time.Duration) (*SmartResult, error) {
 	start := time.Now()
 	sched, err := FetchSchedule(scheduleAddr, timeout)
@@ -44,6 +58,11 @@ func SmartFetch(scheduleAddr string, page core.PageID, timeout time.Duration) (*
 	defer tuner.Close()
 
 	res := &SmartResult{Page: page}
+	finish := func() (*SmartResult, error) {
+		res.BadFrames = tuner.BadFrames()
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
 
 	// Synchronise: one frame from any channel tells us the absolute slot.
 	if err := tuner.Tune(sched.ChannelAddrs[0]); err != nil {
@@ -55,32 +74,52 @@ func SmartFetch(scheduleAddr string, page core.PageID, timeout time.Duration) (*
 	}
 	res.ActiveFrames++
 	if sync.Page == page {
-		res.Elapsed = time.Since(start)
-		return res, nil // lucky: the sync frame was the page
+		return finish() // lucky: the sync frame was the page
 	}
 
-	// Locate the next appearance, leaving a 2-slot wake-up margin.
 	const margin = 2
-	channel, abs, ok := sched.Locate(page, int(sync.Slot)+1)
-	if !ok {
-		return nil, fmt.Errorf("netcast: page %d is not in the broadcast schedule", page)
+	for {
+		// Locate the next appearance, leaving a 2-slot wake-up margin.
+		channel, abs, ok := sched.Locate(page, int(sync.Slot)+1)
+		if !ok {
+			return nil, fmt.Errorf("netcast: page %d is not in the broadcast schedule", page)
+		}
+		if err := tuner.Detach(); err != nil {
+			return nil, err
+		}
+		doze := abs - int(sync.Slot) - 1 - margin
+		if doze > 0 {
+			time.Sleep(time.Duration(doze) * sched.SlotDuration)
+			res.DozedSlots += doze
+		}
+		if err := tuner.Tune(sched.ChannelAddrs[channel]); err != nil {
+			return nil, err
+		}
+		// Listen only until just past the expected appearance; an open-ended
+		// wait would burn the energy budget the doze saved.
+		wait := time.Duration(abs-int(sync.Slot)+2*margin) * sched.SlotDuration
+		if remaining := timeout - time.Since(start); wait > remaining {
+			wait = remaining
+		}
+		frames, err := tuner.WaitForPage(page, wait)
+		res.ActiveFrames += frames
+		if err == nil {
+			return finish()
+		}
+		if timeout-time.Since(start) <= 0 {
+			return nil, fmt.Errorf("netcast: page %d not received within %v (%d replans)",
+				page, timeout, res.Replans)
+		}
+		// Missed it. Re-synchronise off the live stream and doze to the
+		// page's next appearance.
+		res.Replans++
+		sync, err = tuner.ReadFrame(timeout - time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("netcast: re-synchronising after miss: %w", err)
+		}
+		res.ActiveFrames++
+		if sync.Page == page {
+			return finish()
+		}
 	}
-	if err := tuner.Detach(); err != nil {
-		return nil, err
-	}
-	doze := abs - int(sync.Slot) - 1 - margin
-	if doze > 0 {
-		time.Sleep(time.Duration(doze) * sched.SlotDuration)
-		res.DozedSlots = doze
-	}
-	if err := tuner.Tune(sched.ChannelAddrs[channel]); err != nil {
-		return nil, err
-	}
-	frames, err := tuner.WaitForPage(page, timeout-time.Since(start))
-	if err != nil {
-		return nil, err
-	}
-	res.ActiveFrames += frames
-	res.Elapsed = time.Since(start)
-	return res, nil
 }

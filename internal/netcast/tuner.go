@@ -13,9 +13,10 @@ import (
 // paper's model it hears exactly one channel at a time; Retune moves it.
 // A Tuner is not safe for concurrent use.
 type Tuner struct {
-	conn    *net.UDPConn
-	current *net.UDPAddr
-	buf     [FrameSize + 16]byte
+	conn      *net.UDPConn
+	current   *net.UDPAddr
+	badFrames int
+	buf       [FrameSize + 16]byte
 }
 
 // NewTuner opens the client socket (not yet tuned to any channel).
@@ -72,10 +73,20 @@ func (t *Tuner) ReadFrame(timeout time.Duration) (Frame, error) {
 		}
 		f, err := parseFrame(t.buf[:n])
 		if err != nil {
+			// Undecodable traffic from the tuned channel: a corrupted
+			// frame the checksum caught. Count it — it is a real loss.
+			t.badFrames++
 			continue
 		}
 		return f, nil
 	}
+}
+
+// BadFrames reports how many undecodable datagrams from the tuned
+// channel this tuner has discarded — corruption the frame checksum
+// caught.
+func (t *Tuner) BadFrames() int {
+	return t.badFrames
 }
 
 // WaitForPage reads frames on the already-tuned channel until the wanted

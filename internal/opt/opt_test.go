@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"tcsa/internal/conformance"
 	"tcsa/internal/core"
 	"tcsa/internal/delaymodel"
 	"tcsa/internal/pamad"
@@ -202,8 +203,19 @@ func TestBuildProducesProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if prog.Filled() != res.Frequencies.TotalSlots(gs) {
-		t.Errorf("filled %d != F %d", prog.Filled(), res.Frequencies.TotalSlots(gs))
+	// Build discards the placement stats, so re-place the winning
+	// frequencies (the placement is deterministic) to run the full
+	// conformance spill-accounting oracle against the same program.
+	prog2, stats, err := pamad.PlaceEvenly(gs, res.Frequencies, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Filled() != prog2.Filled() {
+		t.Errorf("Build filled %d != PlaceEvenly filled %d", prog.Filled(), prog2.Filled())
+	}
+	if err := conformance.SpillAccounting(prog, res.Frequencies,
+		conformance.PlacementCounts(stats)); err != nil {
+		t.Error(err)
 	}
 	if _, _, err := Build(context.Background(), nil, 3, Options{}); err == nil {
 		t.Error("Build nil group set accepted")

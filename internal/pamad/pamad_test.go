@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tcsa/internal/conformance"
 	"tcsa/internal/core"
 	"tcsa/internal/delaymodel"
 )
@@ -51,8 +52,9 @@ func TestFigure2Frequencies(t *testing.T) {
 	}
 }
 
-// TestFigure2Build checks the full Figure 2 pipeline: t_major = 9, all 25
-// transmissions placed, every page appearing exactly S_i times.
+// TestFigure2Build checks the full Figure 2 pipeline: t_major = 9, and the
+// conformance spill-accounting oracle (all 25 transmissions placed, every
+// page appearing exactly S_i times, empty-slot bookkeeping consistent).
 func TestFigure2Build(t *testing.T) {
 	gs := fig2()
 	prog, res, err := Build(gs, 3)
@@ -65,17 +67,12 @@ func TestFigure2Build(t *testing.T) {
 	if prog.Channels() != 3 {
 		t.Errorf("channels = %d, want 3", prog.Channels())
 	}
-	if prog.Filled() != 25 {
-		t.Errorf("filled = %d, want 25", prog.Filled())
+	if err := conformance.SpillAccounting(prog, res.Frequencies,
+		conformance.PlacementCounts(res.Placement)); err != nil {
+		t.Error(err)
 	}
 	if res.Placement.EmptySlots != 27-25 {
 		t.Errorf("empty slots = %d, want 2", res.Placement.EmptySlots)
-	}
-	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
-		gi := gs.GroupOf(id)
-		if got, want := prog.CountOf(id), res.Frequencies[gi]; got != want {
-			t.Errorf("page %d broadcast %d times, want S=%d", id, got, want)
-		}
 	}
 	if math.Abs(res.Delay-1.0/24.0) > 1e-9 {
 		t.Errorf("Delay = %f, want %f", res.Delay, 1.0/24.0)
@@ -205,6 +202,10 @@ func TestBuildDelayTracksModel(t *testing.T) {
 		prog, res, err := Build(gs, nReal)
 		if err != nil {
 			t.Fatalf("N=%d: %v", nReal, err)
+		}
+		if err := conformance.SpillAccounting(prog, res.Frequencies,
+			conformance.PlacementCounts(res.Placement)); err != nil {
+			t.Errorf("N=%d: %v", nReal, err)
 		}
 		measured := core.Analyze(prog).AvgDelay()
 		ideal := delaymodel.ExactDelay(gs, res.Frequencies, nReal)

@@ -37,6 +37,9 @@ type Config struct {
 	AbandonAfter float64
 	// Drop optionally injects frame loss into the medium.
 	Drop airwave.DropFunc
+	// Jitter, when non-nil, delays slot k's transmission by Jitter(k)
+	// slots (clamped to [0, 0.5] by the medium): imperfect slot clocking.
+	Jitter func(slot int) float64
 	// OnAbandon, when non-nil, is invoked at the simulated instant a client
 	// abandons, with the request and that instant. Hook for coupling to an
 	// on-demand server model.
@@ -90,6 +93,9 @@ func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Outcome, err
 	var opts []airwave.Option
 	if cfg.Drop != nil {
 		opts = append(opts, airwave.WithDropFunc(cfg.Drop))
+	}
+	if cfg.Jitter != nil {
+		opts = append(opts, airwave.WithSlotJitter(cfg.Jitter))
 	}
 	medium, err := airwave.New(&simulator, prog, opts...)
 	if err != nil {

@@ -417,3 +417,38 @@ func TestPoissonStreamAcrossCycles(t *testing.T) {
 		t.Errorf("event wait %f != sampler wait %f on a multi-cycle stream", slow.AvgWait, fast.AvgWait)
 	}
 }
+
+// TestRunWithSlotJitter: jittered slot clocking delays every delivery by
+// at most the jitter bound, so schedule-aware clients still all get
+// served and the average wait moves by less than one full slot.
+func TestRunWithSlotJitter(t *testing.T) {
+	gs := fig2()
+	prog, err := susc.BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.GenerateRequests(gs, prog.Length(), workload.RequestConfig{Count: 300, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(prog, reqs, Config{Mode: ScheduleAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := Run(prog, reqs, Config{
+		Mode:   ScheduleAware,
+		Jitter: func(slot int) float64 { return float64(slot%2) * 0.4 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.Served != len(reqs) {
+		t.Fatalf("jittered run served %d of %d", jit.Served, len(reqs))
+	}
+	if jit.AvgWait < base.AvgWait {
+		t.Errorf("jitter shortened AvgWait: %f < %f", jit.AvgWait, base.AvgWait)
+	}
+	if jit.AvgWait > base.AvgWait+0.5 {
+		t.Errorf("jitter exceeded its bound: %f > %f + 0.5", jit.AvgWait, base.AvgWait)
+	}
+}

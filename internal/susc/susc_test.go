@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tcsa/internal/conformance"
 	"tcsa/internal/core"
 )
 
@@ -60,45 +61,22 @@ func TestBuildSingleGroup(t *testing.T) {
 }
 
 // TestTheorem33Spacing verifies that every page's k-th appearance is exactly
-// t_i slots after its (k-1)-th, on the same channel (Theorem 3.3).
+// t_i slots after its (k-1)-th, on the same channel (Theorem 3.3), via the
+// shared conformance oracle.
 func TestTheorem33Spacing(t *testing.T) {
 	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
 	prog, err := BuildMinimal(gs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for id := core.PageID(0); int(id) < gs.Pages(); id++ {
-		ti := gs.TimeOf(id)
-		cols := prog.Appearances(id)
-		wantCount := gs.MaxTime() / ti
-		if len(cols) != wantCount {
-			t.Fatalf("page %d: %d appearances, want t_h/t_i = %d", id, len(cols), wantCount)
-		}
-		for k := 1; k < len(cols); k++ {
-			if cols[k]-cols[k-1] != ti {
-				t.Errorf("page %d: gap %d between appearances %d and %d, want exactly t=%d",
-					id, cols[k]-cols[k-1], k-1, k, ti)
-			}
-		}
-		// All appearances on one channel.
-		channel := -1
-		for _, col := range cols {
-			for ch := 0; ch < prog.Channels(); ch++ {
-				if prog.At(ch, col) == id {
-					if channel == -1 {
-						channel = ch
-					} else if channel != ch {
-						t.Errorf("page %d appears on channels %d and %d", id, channel, ch)
-					}
-				}
-			}
-		}
+	if err := conformance.PeriodicSpacing(prog); err != nil {
+		t.Error(err)
 	}
 }
 
 // TestBuildUsesMinimumChannels verifies the paper's optimality claim: SUSC
 // succeeds at exactly N = MinChannels for random instances, and the result
-// is always a valid program (Theorem 3.2 in mechanical form).
+// passes every conformance oracle (Theorems 3.1-3.3 in mechanical form).
 func TestBuildUsesMinimumChannels(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -108,9 +86,20 @@ func TestBuildUsesMinimumChannels(t *testing.T) {
 			t.Logf("instance %v: %v", gs, err)
 			return false
 		}
-		if err := prog.Validate(); err != nil {
-			t.Logf("instance %v: invalid program: %v", gs, err)
+		if prog.Channels() != conformance.MinChannelLaw(gs) {
+			t.Logf("instance %v: %d channels, law says %d", gs, prog.Channels(), conformance.MinChannelLaw(gs))
 			return false
+		}
+		for _, oracle := range []func(*core.Program) error{
+			conformance.ValidFromAnyStart,
+			conformance.ChannelLaw,
+			conformance.PeriodicSpacing,
+			conformance.SlotOccupancy,
+		} {
+			if err := oracle(prog); err != nil {
+				t.Logf("instance %v: %v", gs, err)
+				return false
+			}
 		}
 		if core.Analyze(prog).AvgDelay() != 0 {
 			t.Logf("instance %v: nonzero delay", gs)
@@ -158,16 +147,16 @@ func TestBuildDefaultScale(t *testing.T) {
 	}
 }
 
-// TestOccupancyMatchesDemand: SUSC fills exactly sum_i P_i * t_h/t_i slots.
+// TestOccupancyMatchesDemand: SUSC fills exactly sum_i P_i * t_h/t_i slots
+// (the conformance occupancy oracle).
 func TestOccupancyMatchesDemand(t *testing.T) {
 	gs := core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
 	prog, err := BuildMinimal(gs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 3*4 + 5*2 + 3*1
-	if prog.Filled() != want {
-		t.Errorf("Filled = %d, want %d", prog.Filled(), want)
+	if err := conformance.SlotOccupancy(prog); err != nil {
+		t.Error(err)
 	}
 }
 

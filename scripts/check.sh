@@ -19,11 +19,14 @@ go vet ./...
 echo "==> airvet ./..."
 go run ./cmd/airvet ./...
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/experiments/... ./cmd/...
+go test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
+
+echo "==> chaos smoke (determinism gate against BENCH_chaos.json)"
+go run ./cmd/airbench -chaos -chaosout BENCH_chaos_new.json -chaosbaseline BENCH_chaos.json
 
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
@@ -37,6 +40,7 @@ else
     go test -fuzz=FuzzPAMADPlacement'$'     -fuzztime="$FUZZTIME" ./internal/pamad/
     go test -fuzz=FuzzSUSCEquivalence'$'    -fuzztime="$FUZZTIME" ./internal/susc/
     go test -fuzz=FuzzSketchQuantile'$'     -fuzztime="$FUZZTIME" ./internal/stats/
+    go test -fuzz=FuzzChaosDeterminism'$'   -fuzztime="$FUZZTIME" ./internal/chaos/
 fi
 
 echo "==> all checks passed"
