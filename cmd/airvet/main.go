@@ -1,22 +1,31 @@
-// Command airvet runs this repository's static-analysis suite: six
-// type-aware analyzers (slotmath, checkerr, floateq, copylock,
-// exhaustenum, nopanic) that enforce the structural invariants behind the
-// paper's validity theorems. It is part of the scripts/check.sh gate and
-// must exit 0 on the repo at all times; see docs/airvet.md.
+// Command airvet runs this repository's static-analysis suite: eleven
+// type-aware analyzers enforcing the structural invariants behind the
+// paper's validity theorems — six intraprocedural checks (slotmath,
+// checkerr, floateq, copylock, exhaustenum, nopanic) plus five built on
+// the cross-package facts engine (detmap, wallclock, ctxflow, atomicmix,
+// lockbal). It is part of the scripts/check.sh gate and must exit 0 on
+// the repo against the committed (empty) lint_baseline.json at all
+// times; see docs/airvet.md.
 //
 // Usage:
 //
-//	airvet [-list] [-only analyzer,...] [packages]
+//	airvet [-list] [-only analyzer,...] [-json] [-baseline file [-update]] [packages]
 //
-// Packages default to ./... resolved from the current directory. Exit
-// status: 0 clean, 1 findings, 2 usage or load error.
+// Packages default to ./... resolved from the current directory.
+// -baseline filters findings already blessed in the given file (CI fails
+// only on new debt); -update rewrites that file from the current
+// findings instead of failing. -json emits machine-readable findings for
+// the CI artifact. Exit status: 0 clean, 1 findings, 2 usage or load
+// error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"tcsa/internal/lint"
 )
@@ -25,13 +34,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("airvet", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	baseline := fs.String("baseline", "", "baseline file of blessed findings; only new findings fail")
+	update := fs.Bool("update", false, "rewrite the -baseline file from the current findings and exit 0")
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: airvet [-list] [-only analyzer,...] [packages]")
+		fmt.Fprintln(errw, "usage: airvet [-list] [-only analyzer,...] [-json] [-baseline file [-update]] [packages]")
 		fs.PrintDefaults()
 		fmt.Fprintln(errw, "\nanalyzers:")
 		for _, a := range lint.All() {
@@ -46,6 +67,10 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *update && *baseline == "" {
+		fmt.Fprintln(errw, "airvet: -update requires -baseline")
+		return 2
 	}
 	analyzers := lint.All()
 	if *only != "" {
@@ -65,8 +90,52 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "airvet:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "airvet:", err)
+		return 2
+	}
+	if *baseline != "" {
+		if *update {
+			if err := lint.WriteBaseline(*baseline, root, diags); err != nil {
+				fmt.Fprintln(errw, "airvet:", err)
+				return 2
+			}
+			fmt.Fprintf(errw, "airvet: wrote %d finding(s) to %s\n", len(diags), *baseline)
+			return 0
+		}
+		b, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(errw, "airvet:", err)
+			return 2
+		}
+		diags = b.Filter(diags, root)
+	}
+	if *asJSON {
+		report := []jsonDiagnostic{}
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+			report = append(report, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(file),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(errw, "airvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errw, "airvet: %d finding(s)\n", len(diags))

@@ -11,6 +11,8 @@
 // arithmetic is an exact mirror of sim.MeasureStream, and the package
 // tests pin that equality bit-for-bit; conformance.MissFreeLaw then turns
 // "zero faults on a valid program" into a machine-checked zero-miss law.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package chaos
 
 import (

@@ -15,6 +15,8 @@
 // and with runtime self-checks such as the chaos engine's zero-fault gate.
 // The package imports only core and delaymodel, which keeps it importable
 // from every scheduler package's internal tests without import cycles.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package conformance
 
 import (

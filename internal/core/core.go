@@ -22,4 +22,6 @@
 // time regardless of start instant) exactly when every page of group i
 // appears within the first t_i columns and consecutive appearances —
 // including the cyclic wrap — are at most t_i columns apart.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package core

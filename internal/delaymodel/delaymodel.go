@@ -19,6 +19,8 @@
 // The gap_i <= t_i gate — rather than clamping the product — is what
 // reproduces the paper's Figure 2 walkthrough exactly (D'_2 = 0.12/0 for
 // r_1 = 1/2 and D'_3 = 0.15/0.04 for r_2 = 1/2); see the package tests.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package delaymodel
 
 import (

@@ -107,6 +107,13 @@ func Figure5(ctx context.Context, p Params, dist workload.Distribution) (*Fig5Se
 func figure5Point(ctx context.Context, p Params, gs *core.GroupSet, n int) (*Fig5Point, error) {
 	pt := &Fig5Point{Channels: n}
 
+	// The Monte-Carlo measures below are the expensive stages and do not
+	// take the context themselves (they are deterministic batch work);
+	// poll between them so a cancelled sweep stops at the next stage
+	// boundary instead of finishing the whole point.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pamadProg, _, err := pamad.Build(gs, n)
 	if err != nil {
 		return nil, fmt.Errorf("pamad: %w", err)
@@ -116,6 +123,9 @@ func figure5Point(ctx context.Context, p Params, gs *core.GroupSet, n int) (*Fig
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	mpbProg, _, err := mpb.Build(gs, n)
 	if err != nil {
 		return nil, fmt.Errorf("mpb: %w", err)
@@ -181,6 +191,12 @@ func Figure5All(ctx context.Context, p Params) ([]*Fig5Series, error) {
 		}()
 	}
 	wg.Wait()
+	// The sweeps exit promptly on cancellation (runSweep selects on
+	// ctx.Done), so Wait cannot hang; prefer reporting the cancellation
+	// itself over whichever per-series error surfaced first.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

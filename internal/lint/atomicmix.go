@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix flags a variable or struct field that is accessed both
+// through the sync/atomic function API (atomic.AddInt64(&x.n, 1)) and
+// through plain loads or stores elsewhere in the package. Mixing the two
+// is a data race even when it happens to pass the race detector on a
+// given interleaving: the plain access carries no synchronization, so
+// the counter the chaos engine or netcast server reports can be torn or
+// stale. Use the typed atomic.Int64/Bool/Pointer wrappers (as
+// sim/stream.go and opt do), which make the unsynchronized access
+// impossible to write.
+//
+// The check is package-local: a field declared and atomically accessed
+// here but plainly accessed from another package is out of scope (the
+// typed wrappers close that hole for good).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "same variable accessed via sync/atomic and via plain loads/stores",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: every variable whose address is taken as the first argument
+	// of a sync/atomic call, plus the identifier nodes of those argument
+	// expressions (so pass 2 does not count them as plain accesses).
+	atomicAt := map[types.Object]token.Pos{}
+	inAtomicArg := map[*ast.Ident]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			obj := addressedVar(pass, addr.X)
+			if obj == nil {
+				return true
+			}
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = call.Pos()
+			}
+			ast.Inspect(addr.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					inAtomicArg[id] = true
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: plain accesses of the same objects.
+	type finding struct {
+		pos    token.Pos
+		name   string
+		atomic token.Pos
+	}
+	var found []finding
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicArg[id] {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if at, ok := atomicAt[obj]; ok {
+				found = append(found, finding{pos: id.Pos(), name: id.Name, atomic: at})
+			}
+			return true
+		})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, f := range found {
+		pass.Reportf(f.pos,
+			"%s is accessed with sync/atomic at %s but read/written plainly here; mixed access is a data race — use atomic.Int64-style typed atomics",
+			f.name, pass.Fset.Position(f.atomic))
+	}
+}
+
+// isAtomicFuncCall reports whether call targets a top-level sync/atomic
+// function (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	obj, ok := calleeObject(pass.Info, call).(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressedVar resolves &expr's operand to the variable object it
+// denotes: a plain identifier or the terminal field of a selector.
+func addressedVar(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[e.Sel].(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline support: `airvet -baseline lint_baseline.json` fails only on
+// diagnostics NOT recorded in the committed baseline, so a new analyzer
+// can land with its pre-existing debt ratcheted (never growing) instead
+// of blocking the tree. `-update` rewrites the file from the current
+// findings. The repo's committed baseline is empty — every finding the
+// v2 analyzers produced was fixed or justified in the PR that added
+// them — and the CI gate keeps it that way.
+//
+// Entries match on (analyzer, module-relative file, message), not line
+// numbers, so unrelated edits above a baselined finding do not un-bless
+// it. Matching is multiset-aware: two identical findings need two
+// baseline entries.
+
+// BaselineEntry identifies one blessed finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // slash-separated, relative to the module root
+	Message  string `json:"message"`
+}
+
+// Baseline is the on-disk format of lint_baseline.json.
+type Baseline struct {
+	Version     int             `json:"version"`
+	Diagnostics []BaselineEntry `json:"diagnostics"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error: the
+// gate must not silently pass because of a typoed path.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// entryFor converts a diagnostic to its baseline identity, with the file
+// path relativized against root.
+func entryFor(d Diagnostic, root string) BaselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil {
+		file = rel
+	}
+	return BaselineEntry{Analyzer: d.Analyzer, File: filepath.ToSlash(file), Message: d.Message}
+}
+
+// Filter returns the diagnostics not covered by the baseline. Each
+// baseline entry absorbs at most one matching finding.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Diagnostics {
+		budget[e]++
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		e := entryFor(d, root)
+		if budget[e] > 0 {
+			budget[e]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// WriteBaseline records diags as the new blessed set at path.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	b := Baseline{Version: 1, Diagnostics: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Diagnostics = append(b.Diagnostics, entryFor(d, root))
+	}
+	sort.Slice(b.Diagnostics, func(i, j int) bool {
+		a, c := b.Diagnostics[i], b.Diagnostics[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: encoding baseline: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func diag(analyzer, file, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: 10, Column: 2},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	diags := []Diagnostic{
+		diag("detmap", filepath.Join(root, "a", "a.go"), "map order leak"),
+		diag("lockbal", filepath.Join(root, "b", "b.go"), "never unlocked"),
+	}
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if b.Version != 1 || len(b.Diagnostics) != 2 {
+		t.Fatalf("round trip mangled baseline: %+v", b)
+	}
+	if b.Diagnostics[0].File != "a/a.go" {
+		t.Errorf("file not relativized/slashed: %q", b.Diagnostics[0].File)
+	}
+	if kept := b.Filter(diags, root); len(kept) != 0 {
+		t.Errorf("baseline did not absorb its own findings: %v", kept)
+	}
+}
+
+func TestBaselineFilterIsMultisetAware(t *testing.T) {
+	root := t.TempDir()
+	d := diag("nopanic", filepath.Join(root, "x.go"), "panic in library code")
+	b := &Baseline{Version: 1, Diagnostics: []BaselineEntry{
+		{Analyzer: "nopanic", File: "x.go", Message: "panic in library code"},
+	}}
+	// Two identical findings, one blessed entry: exactly one must survive.
+	kept := b.Filter([]Diagnostic{d, d}, root)
+	if len(kept) != 1 {
+		t.Fatalf("got %d findings past a 1-entry baseline for 2 duplicates, want 1", len(kept))
+	}
+}
+
+func TestBaselineIgnoresLineNumbers(t *testing.T) {
+	root := t.TempDir()
+	b := &Baseline{Version: 1, Diagnostics: []BaselineEntry{
+		{Analyzer: "floateq", File: "y.go", Message: "== on float64"},
+	}}
+	d := diag("floateq", filepath.Join(root, "y.go"), "== on float64")
+	d.Pos.Line = 999 // far from wherever it was blessed
+	if kept := b.Filter([]Diagnostic{d}, root); len(kept) != 0 {
+		t.Errorf("baseline match should not depend on line number: %v", kept)
+	}
+}
+
+func TestLoadBaselineMissingFileIsError(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing baseline file must be an error, not an empty baseline")
+	}
+}

@@ -1,0 +1,266 @@
+package lint
+
+import "go/ast"
+
+// This file is the intra-function control-flow graph builder behind the
+// path-sensitive analyzers (lockbal today). The graph is deliberately
+// statement-grained: every statement is one node, compound statements
+// (if/for/switch/select) contribute a header node whose successors are
+// the entries of their branches. That is coarse enough to stay ~200
+// lines of stdlib-only code and fine enough to answer "does every path
+// from this Lock reach an Unlock before returning".
+//
+// Approximations, chosen to avoid false positives rather than catch
+// every path:
+//
+//   - goto is treated as terminating (no successors): paths through a
+//     goto are simply not analyzed.
+//   - panic(...) and the os.Exit/log.Fatal family terminate their node,
+//     so a panicking path owes no lock release.
+//   - for-statement init/cond/post ride on the loop header node.
+//   - function literals are opaque: their bodies are separate flows and
+//     are not part of the enclosing function's graph.
+
+// cfgNode is one statement (or the synthetic entry/exit) in a function's
+// control-flow graph.
+type cfgNode struct {
+	stmt  ast.Stmt // nil for synthetic entry and exit
+	succs []*cfgNode
+	index int
+}
+
+// funcCFG is the statement-level control-flow graph of one function
+// body. exit is the single synthetic node every return reaches; the
+// fall-off-the-end path also flows into it.
+type funcCFG struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes []*cfgNode
+}
+
+// flowCtx is one enclosing breakable (and possibly continuable)
+// construct on the builder stack.
+type flowCtx struct {
+	label      string
+	breakTo    *cfgNode
+	continueTo *cfgNode // nil for switch/select
+}
+
+type cfgBuilder struct {
+	nodes         []*cfgNode
+	exit          *cfgNode
+	stack         []flowCtx
+	fallthroughTo *cfgNode
+}
+
+// buildCFG constructs the control-flow graph of body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{}
+	b.exit = b.node(nil)
+	entry := b.node(nil)
+	first := b.buildList(body.List, b.exit)
+	entry.succs = append(entry.succs, first)
+	return &funcCFG{entry: entry, exit: b.exit, nodes: b.nodes}
+}
+
+func (b *cfgBuilder) node(s ast.Stmt) *cfgNode {
+	n := &cfgNode{stmt: s, index: len(b.nodes)}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// buildList wires a statement list so control flows to next, returning
+// the entry node of the list (next itself when the list is empty).
+func (b *cfgBuilder) buildList(list []ast.Stmt, next *cfgNode) *cfgNode {
+	entry := next
+	for i := len(list) - 1; i >= 0; i-- {
+		entry = b.buildStmt(list[i], "", entry)
+	}
+	return entry
+}
+
+// buildStmt wires one statement (labeled label when non-empty) so
+// control flows to next and returns its entry node.
+func (b *cfgBuilder) buildStmt(s ast.Stmt, label string, next *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.buildList(s.List, next)
+
+	case *ast.LabeledStmt:
+		return b.buildStmt(s.Stmt, s.Label.Name, next)
+
+	case *ast.IfStmt:
+		header := b.node(s)
+		header.succs = append(header.succs, b.buildList(s.Body.List, next))
+		switch el := s.Else.(type) {
+		case nil:
+			header.succs = append(header.succs, next)
+		case *ast.BlockStmt:
+			header.succs = append(header.succs, b.buildList(el.List, next))
+		case *ast.IfStmt:
+			header.succs = append(header.succs, b.buildStmt(el, "", next))
+		}
+		return header
+
+	case *ast.ForStmt:
+		header := b.node(s)
+		b.stack = append(b.stack, flowCtx{label: label, breakTo: next, continueTo: header})
+		body := b.buildList(s.Body.List, header)
+		b.stack = b.stack[:len(b.stack)-1]
+		header.succs = append(header.succs, body)
+		if s.Cond != nil {
+			header.succs = append(header.succs, next)
+		}
+		return header
+
+	case *ast.RangeStmt:
+		header := b.node(s)
+		b.stack = append(b.stack, flowCtx{label: label, breakTo: next, continueTo: header})
+		body := b.buildList(s.Body.List, header)
+		b.stack = b.stack[:len(b.stack)-1]
+		header.succs = append(header.succs, body, next)
+		return header
+
+	case *ast.SwitchStmt:
+		return b.buildSwitch(s, s.Body.List, label, next, true)
+
+	case *ast.TypeSwitchStmt:
+		return b.buildSwitch(s, s.Body.List, label, next, false)
+
+	case *ast.SelectStmt:
+		header := b.node(s)
+		b.stack = append(b.stack, flowCtx{label: label, breakTo: next})
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			entry := b.buildList(cc.Body, next)
+			if cc.Comm != nil {
+				entry = b.buildStmt(cc.Comm, "", entry)
+			}
+			header.succs = append(header.succs, entry)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		// An empty select{} blocks forever: no successors.
+		return header
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.succs = append(n.succs, b.exit)
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok.String() {
+		case "break":
+			if t := b.target(labelName(s), false); t != nil {
+				n.succs = append(n.succs, t)
+			}
+		case "continue":
+			if t := b.target(labelName(s), true); t != nil {
+				n.succs = append(n.succs, t)
+			}
+		case "fallthrough":
+			if b.fallthroughTo != nil {
+				n.succs = append(n.succs, b.fallthroughTo)
+			}
+		case "goto":
+			// Approximation: paths through a goto are not analyzed.
+		}
+		return n
+
+	default:
+		n := b.node(s)
+		if !terminates(s) {
+			n.succs = append(n.succs, next)
+		}
+		return n
+	}
+}
+
+// buildSwitch wires a (type) switch: header fans out to every case entry,
+// case bodies flow to next, fallthrough flows to the following case.
+func (b *cfgBuilder) buildSwitch(s ast.Stmt, clauses []ast.Stmt, label string, next *cfgNode, allowFallthrough bool) *cfgNode {
+	header := b.node(s)
+	b.stack = append(b.stack, flowCtx{label: label, breakTo: next})
+	hasDefault := false
+	var entries []*cfgNode
+	var follow *cfgNode // entry of the textually following case
+	for i := len(clauses) - 1; i >= 0; i-- {
+		cc, ok := clauses[i].(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		saved := b.fallthroughTo
+		if allowFallthrough {
+			b.fallthroughTo = follow
+		}
+		entry := b.buildList(cc.Body, next)
+		b.fallthroughTo = saved
+		follow = entry
+		entries = append(entries, entry)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	header.succs = append(header.succs, entries...)
+	if !hasDefault {
+		header.succs = append(header.succs, next)
+	}
+	return header
+}
+
+// target resolves a break (continue=false) or continue (continue=true)
+// to its destination node, innermost-first, honoring labels.
+func (b *cfgBuilder) target(label string, isContinue bool) *cfgNode {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		c := b.stack[i]
+		if isContinue && c.continueTo == nil {
+			continue
+		}
+		if label != "" && c.label != label {
+			continue
+		}
+		if isContinue {
+			return c.continueTo
+		}
+		return c.breakTo
+	}
+	return nil
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label == nil {
+		return ""
+	}
+	return s.Label.Name
+}
+
+// terminates reports whether s is an expression statement that never
+// returns: panic(...) or a well-known process-terminating call.
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}

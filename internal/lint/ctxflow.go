@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces that cancellation actually flows: a function that
+// accepts a context.Context must not reach a blocking operation the
+// context cannot interrupt. Three shapes are flagged:
+//
+//  1. The function directly contains an unguarded blocking op (naked
+//     channel send/receive, single-case select, time.Sleep,
+//     WaitGroup/Cond.Wait) and never consults ctx.Done/Err/Deadline.
+//  2. The function calls a module-local function whose facts summary
+//     says it blocks, without passing the context on — the callee can
+//     stall forever and ctx cannot reach it.
+//  3. An exported API spawns a goroutine whose body loops forever with
+//     no exit path (no return/break, no channel op, no context) — a
+//     leak with no cancellation story.
+//
+// Consulting ctx.Err() counts as honoring the context: the OPT
+// branch-and-bound workers poll ctx.Err() per node rather than select
+// on Done, which cancels just as deterministically.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context accepted but not honored on a blocking path; goroutines with no cancellation",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			if len(ctxParams) > 0 && !consultsContext(pass, fd, ctxParams) {
+				checkBlockingWithoutCtx(pass, fd)
+			}
+			if ast.IsExported(fd.Name.Name) {
+				checkOrphanGoroutines(pass, fd, ctxParams)
+			}
+		}
+	}
+}
+
+// contextParams returns the objects of fd's context.Context parameters.
+func contextParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isNamed(tv.Type, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// consultsContext reports whether fd's body calls Done, Err or Deadline
+// on one of its context parameters (directly or inside a closure).
+func consultsContext(pass *Pass, fd *ast.FuncDecl, ctxParams []types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Done", "Err", "Deadline":
+		default:
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		for _, p := range ctxParams {
+			if obj == p {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkBlockingWithoutCtx reports fd's first direct unguarded blocking
+// op and every call to a module function that blocks without receiving
+// the context.
+func checkBlockingWithoutCtx(pass *Pass, fd *ast.FuncDecl) {
+	if pass.Facts == nil {
+		return
+	}
+	key := pass.declKey(fd)
+	fn := pass.Facts.fn(key)
+	if fn == nil {
+		return
+	}
+	if src := fn.facts[factBlocks]; src != nil && src.next == "" {
+		pass.Reportf(src.pos,
+			"%s accepts a context but blocks here (%s) without a ctx.Done() select or ctx.Err() check",
+			fd.Name.Name, src.what)
+	}
+	for _, edge := range fn.calls {
+		if edge.passesCtx {
+			continue
+		}
+		steps, what, pos, ok := pass.Facts.chain(edge.callee, factBlocks)
+		if !ok {
+			continue
+		}
+		pass.Reportf(edge.pos,
+			"%s accepts a context but calls %s, which blocks (%s), without passing the context",
+			fd.Name.Name, pass.Facts.displayKey(edge.callee),
+			pass.Facts.chainString(steps, what, pos))
+	}
+}
+
+// checkOrphanGoroutines flags `go func(){...}()` in exported APIs whose
+// body contains an infinite loop with no exit path and no cancellation
+// signal (no return/break inside, no channel op, no select, no use of a
+// context parameter).
+func checkOrphanGoroutines(pass *Pass, fd *ast.FuncDecl, ctxParams []types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			loop, ok := inner.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if loopHasExitPath(pass, loop, ctxParams) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine spawned by exported %s loops forever with no cancellation path (no return, channel op, or context check in the loop)",
+				fd.Name.Name)
+			return false
+		})
+		return true
+	})
+}
+
+// loopHasExitPath reports whether an infinite for loop contains any way
+// out: a return, a break (any level), a channel operation or select (a
+// close can unblock it), or a use of a context parameter.
+func loopHasExitPath(pass *Pass, loop *ast.ForStmt, ctxParams []types.Object) bool {
+	has := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt:
+			has = true
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				has = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				has = true
+			}
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			for _, p := range ctxParams {
+				if obj == p {
+					has = true
+				}
+			}
+		case *ast.ExprStmt:
+			if terminates(n) {
+				has = true
+			}
+		}
+		return !has
+	})
+	return has
+}

@@ -65,6 +65,10 @@ type Pass struct {
 	// Module is the module path ("tcsa"); analyzers use it to distinguish
 	// module-local declarations from imported ones.
 	Module string
+	// Facts is the interprocedural facts engine computed once over the
+	// whole loaded package set (see facts.go); nil only in direct unit
+	// tests of analyzers that never consult it.
+	Facts *Facts
 
 	analyzer string
 	diags    *[]Diagnostic
@@ -79,9 +83,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the complete airvet analyzer suite in stable order.
+// All returns the complete airvet analyzer suite in stable order: the
+// six intraprocedural checks from PR 1 plus the five facts-engine
+// analyzers (determinism, context-flow and lock-safety).
 func All() []*Analyzer {
-	return []*Analyzer{SlotMath, CheckErr, FloatEq, CopyLock, ExhaustEnum, NoPanic}
+	return []*Analyzer{
+		SlotMath, CheckErr, FloatEq, CopyLock, ExhaustEnum, NoPanic,
+		DetMap, WallClock, CtxFlow, AtomicMix, LockBal,
+	}
 }
 
 // ByName resolves a comma-separated analyzer subset against All.
@@ -111,8 +120,9 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // analyze runs the analyzers over one loaded package and applies the
-// //lint:ignore directives found in its files.
-func analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// //lint:ignore directives found in its files. facts carries the
+// cross-package summaries computed over the whole load.
+func analyze(pkg *Package, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -121,6 +131,7 @@ func analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			Module:   pkg.Module,
+			Facts:    facts,
 			analyzer: a.Name,
 			diags:    &diags,
 		}
@@ -137,13 +148,21 @@ func analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return kept
 }
 
-// ignoreSet indexes //lint:ignore directives by file and line.
-type ignoreSet map[string]map[int][]string // file -> line -> analyzer names
+// ignoreRange is the line span one //lint:ignore directive suppresses.
+type ignoreRange struct {
+	from, to int
+	names    []string
+}
+
+// ignoreSet indexes //lint:ignore directive spans by file.
+type ignoreSet map[string][]ignoreRange
 
 func (s ignoreSet) covers(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range lines[line] {
+	for _, r := range s[d.Pos.Filename] {
+		if d.Pos.Line < r.from || d.Pos.Line > r.to {
+			continue
+		}
+		for _, name := range r.names {
 			if name == "all" || name == d.Analyzer {
 				return true
 			}
@@ -153,11 +172,14 @@ func (s ignoreSet) covers(d Diagnostic) bool {
 }
 
 // collectIgnores scans comments for lint:ignore directives. A directive
-// suppresses matching findings on its own line and the line below it, so
-// both end-of-line and line-above placement work. Malformed directives
-// (missing analyzer list or justification) are reported as findings of
-// the pseudo-analyzer "lint".
+// suppresses matching findings on its own line and the line below it —
+// and, when that next (or same) line starts a statement or declaration,
+// anywhere inside that whole statement, so a directive above a
+// multi-line call or literal covers every line of it. Malformed
+// directives (missing analyzer list or justification) are reported as
+// findings of the pseudo-analyzer "lint".
 func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	spans := stmtSpans(fset, files)
 	set := ignoreSet{}
 	var malformed []Diagnostic
 	for _, f := range files {
@@ -177,18 +199,57 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagno
 					})
 					continue
 				}
-				byLine := set[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					set[pos.Filename] = byLine
+				r := ignoreRange{from: pos.Line, to: pos.Line + 1, names: strings.Split(fields[0], ",")}
+				// Extend over the statement starting on the directive's
+				// line (trailing placement) or the line below it
+				// (line-above placement).
+				for _, start := range []int{pos.Line, pos.Line + 1} {
+					if end, ok := spans[pos.Filename][start]; ok && end > r.to {
+						r.to = end
+					}
 				}
-				names := strings.Split(fields[0], ",")
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+				set[pos.Filename] = append(set[pos.Filename], r)
 			}
 		}
 	}
 	return set, malformed
+}
+
+// stmtSpans maps, per file, a statement's (or non-function declaration's)
+// starting line to the last line of the longest statement starting there.
+// Function declarations are excluded so a directive above a func does not
+// blanket its entire body.
+func stmtSpans(fset *token.FileSet, files []*ast.File) map[string]map[int]int {
+	spans := map[string]map[int]int{}
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos())
+		end := fset.Position(n.End())
+		byLine := spans[start.Filename]
+		if byLine == nil {
+			byLine = map[int]int{}
+			spans[start.Filename] = byLine
+		}
+		if end.Line > byLine[start.Line] {
+			byLine[start.Line] = end.Line
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case ast.Stmt:
+				record(n)
+			case *ast.GenDecl:
+				record(n)
+			case *ast.Field:
+				record(n)
+			case *ast.FuncDecl:
+				// Do not record: descend for the body's statements.
+				_ = n
+			}
+			return true
+		})
+	}
+	return spans
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer.

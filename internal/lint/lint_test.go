@@ -22,6 +22,11 @@ var corpusPaths = map[string]string{
 	"copylock":    "tcsa/internal/lint/testdata/copylock",
 	"exhaustenum": "tcsa/internal/lint/testdata/exhaustenum",
 	"nopanic":     "tcsa/internal/lint/testdata/nopanic",
+	"detmap":      "tcsa/internal/lint/testdata/detmap",
+	"wallclock":   "tcsa/internal/lint/testdata/wallclock",
+	"ctxflow":     "tcsa/internal/lint/testdata/ctxflow",
+	"atomicmix":   "tcsa/internal/lint/testdata/atomicmix",
+	"lockbal":     "tcsa/internal/lint/testdata/lockbal",
 }
 
 // TestAnalyzerCorpora checks every analyzer against its testdata corpus:
@@ -35,7 +40,7 @@ func TestAnalyzerCorpora(t *testing.T) {
 			if err != nil {
 				t.Fatalf("loading corpus: %v", err)
 			}
-			got := analyze(pkg, []*Analyzer{a})
+			got := analyze(pkg, []*Analyzer{a}, ComputeFacts([]*Package{pkg}))
 			sortDiagnostics(got)
 			wants := parseWants(t, dir)
 			used := map[string]bool{}

@@ -36,9 +36,10 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	if err != nil {
 		return nil, err
 	}
+	facts := ComputeFacts(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		diags = append(diags, analyze(pkg, analyzers)...)
+		diags = append(diags, analyze(pkg, analyzers, facts)...)
 	}
 	sortDiagnostics(diags)
 	return diags, nil

@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockBal runs a forward dataflow over the intra-function CFG (cfg.go)
+// to prove every sync.Mutex/RWMutex Lock is balanced by an Unlock on
+// every path to return, and that no path unlocks a mutex it does not
+// hold. The netcast server and the OPT work-stealing search are exactly
+// the code where an early-return between Lock and Unlock deadlocks the
+// broadcast tick loop — a bug the race detector cannot see because
+// nothing races, it just stops.
+//
+// The lattice per lock is unheld / held / mixed (held on only some
+// incoming paths). A `defer mu.Unlock()` anywhere in the function
+// discharges the exit obligation for that lock; panicking statements
+// terminate their path without owing a release. Locks are identified by
+// the printed receiver expression ("s.mu"), so two different instances
+// spelled identically in one function alias — acceptable for a
+// structural check.
+var LockBal = &Analyzer{
+	Name: "lockbal",
+	Doc:  "Lock without Unlock on some path to return; Unlock without a held Lock",
+	Run:  runLockBal,
+}
+
+// Lock state lattice values.
+const (
+	lkUnheld uint8 = iota
+	lkHeld
+	lkMixed
+)
+
+// lockOp is one Lock/Unlock call found in a statement.
+type lockOp struct {
+	key    string // printed receiver + mode, e.g. "s.mu/W"
+	unlock bool
+	pos    token.Pos
+}
+
+func runLockBal(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(pass, fd)
+		}
+	}
+}
+
+func checkLockBalance(pass *Pass, fd *ast.FuncDecl) {
+	deferred := map[string]bool{}     // lock keys released by a defer
+	lockPos := map[string]token.Pos{} // first Lock position per key
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures release on their own goroutine/flow
+		}
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			if op, ok := lockCallOp(pass, ds.Call); ok && op.unlock {
+				deferred[op.key] = true
+			}
+		}
+		return true
+	})
+
+	g := buildCFG(fd.Body)
+	// Pre-scan ops per node; bail out early if the function locks nothing.
+	ops := make([][]lockOp, len(g.nodes))
+	anyLock := false
+	for _, n := range g.nodes {
+		ops[n.index] = stmtLockOps(pass, n.stmt)
+		for _, op := range ops[n.index] {
+			if !op.unlock {
+				anyLock = true
+				if _, seen := lockPos[op.key]; !seen {
+					lockPos[op.key] = op.pos
+				}
+			}
+		}
+	}
+	if !anyLock {
+		return
+	}
+
+	preds := make([][]*cfgNode, len(g.nodes))
+	for _, n := range g.nodes {
+		for _, s := range n.succs {
+			preds[s.index] = append(preds[s.index], n)
+		}
+	}
+
+	in := make([]map[string]uint8, len(g.nodes))
+	out := make([]map[string]uint8, len(g.nodes))
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	// Forward fixed-point iteration from entry (no reporting yet: states
+	// are not trustworthy until convergence). Round-robin over node index
+	// is fine at these sizes.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			state := mergePreds(n, preds[n.index], out, g.entry)
+			if state == nil {
+				continue // not yet reachable
+			}
+			in[n.index] = state
+			newOut := applyOps(state, ops[n.index], lockPos, nil)
+			if !stateEqual(out[n.index], newOut) {
+				out[n.index] = newOut
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass over the converged states.
+	for _, n := range g.nodes {
+		if in[n.index] != nil && len(ops[n.index]) > 0 {
+			applyOps(in[n.index], ops[n.index], lockPos, report)
+		}
+	}
+
+	// Exit obligation: anything still (possibly) held at the exit node
+	// without a deferred release escaped the function locked.
+	exitState := in[g.exit.index]
+	keys := make([]string, 0, len(exitState))
+	for k := range exitState {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if deferred[k] {
+			continue
+		}
+		name := k[:len(k)-2] // strip "/W" or "/R" mode suffix
+		switch exitState[k] {
+		case lkHeld:
+			report(lockPos[k], "%s is locked here but never unlocked before returning (add defer %s.Unlock())", name, name)
+		case lkMixed:
+			report(lockPos[k], "%s is locked here but not unlocked on every path to return", name)
+		}
+	}
+}
+
+// mergePreds joins the out-states of n's predecessors: equal values
+// survive, disagreements become lkMixed. Returns nil while no
+// predecessor has been computed (unreachable so far).
+func mergePreds(n *cfgNode, preds []*cfgNode, out []map[string]uint8, entry *cfgNode) map[string]uint8 {
+	if n == entry {
+		return map[string]uint8{}
+	}
+	var merged map[string]uint8
+	seen := 0
+	for _, p := range preds {
+		po := out[p.index]
+		if po == nil {
+			continue
+		}
+		seen++
+		if merged == nil {
+			merged = make(map[string]uint8, len(po))
+			for k, v := range po {
+				merged[k] = v
+			}
+			continue
+		}
+		for k, v := range po {
+			if mv, ok := merged[k]; !ok {
+				if v != lkUnheld {
+					merged[k] = lkMixed
+				}
+			} else if mv != v {
+				merged[k] = lkMixed
+			}
+		}
+		for k, v := range merged {
+			if _, ok := po[k]; !ok && v != lkUnheld {
+				merged[k] = lkMixed
+			}
+		}
+	}
+	if seen == 0 {
+		return nil
+	}
+	return merged
+}
+
+// applyOps runs one node's lock operations over state. With a non-nil
+// report callback (the post-convergence pass) it also reports definite
+// double-locks and unlock-without-lock.
+func applyOps(state map[string]uint8, ops []lockOp, lockPos map[string]token.Pos, report func(token.Pos, string, ...any)) map[string]uint8 {
+	if len(ops) == 0 {
+		return state
+	}
+	next := make(map[string]uint8, len(state))
+	for k, v := range state {
+		next[k] = v
+	}
+	for _, op := range ops {
+		name := op.key[:len(op.key)-2]
+		exclusive := op.key[len(op.key)-1] == 'W'
+		switch {
+		case op.unlock:
+			if report != nil && next[op.key] == lkUnheld {
+				if _, lockedHere := lockPos[op.key]; lockedHere {
+					report(op.pos, "%s.Unlock() without a held Lock on this path (double unlock?)", name)
+				}
+			}
+			next[op.key] = lkUnheld
+		default:
+			if report != nil && exclusive && next[op.key] == lkHeld {
+				report(op.pos, "%s.Lock() while %s is already locked on this path (self-deadlock)", name, name)
+			}
+			next[op.key] = lkHeld
+		}
+	}
+	return next
+}
+
+// stateEqual compares two lock states semantically: a key absent from a
+// map means unheld.
+func stateEqual(a, b map[string]uint8) bool {
+	if a == nil {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v && !(v == lkUnheld && b[k] == 0) {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a[k] != v && !(v == lkUnheld && a[k] == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtLockOps extracts the Lock/Unlock calls a CFG node executes. For
+// compound statements only the header expressions are scanned (their
+// bodies are separate nodes); function literals are opaque.
+func stmtLockOps(pass *Pass, s ast.Stmt) []lockOp {
+	if s == nil {
+		return nil
+	}
+	var roots []ast.Node
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			roots = append(roots, s.Init)
+		}
+		roots = append(roots, s.Cond)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			roots = append(roots, s.Init)
+		}
+		if s.Cond != nil {
+			roots = append(roots, s.Cond)
+		}
+		if s.Post != nil {
+			roots = append(roots, s.Post)
+		}
+	case *ast.RangeStmt:
+		roots = append(roots, s.X)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			roots = append(roots, s.Init)
+		}
+		if s.Tag != nil {
+			roots = append(roots, s.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			roots = append(roots, s.Init)
+		}
+		roots = append(roots, s.Assign)
+	case *ast.SelectStmt:
+		return nil
+	case *ast.DeferStmt:
+		return nil // handled via the deferred set
+	case *ast.GoStmt:
+		return nil // runs on another goroutine
+	default:
+		roots = append(roots, s)
+	}
+	var ops []lockOp
+	for _, root := range roots {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := lockCallOp(pass, call); ok {
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	return ops
+}
+
+// lockCallOp classifies call as a mutex Lock/Unlock operation, keyed by
+// the printed receiver expression plus mode (W for Lock/Unlock, R for
+// RLock/RUnlock).
+func lockCallOp(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return lockOp{}, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	recv := sig.Recv().Type()
+	if !isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex") {
+		return lockOp{}, false
+	}
+	var mode string
+	var unlock bool
+	switch obj.Name() {
+	case "Lock":
+		mode = "W"
+	case "Unlock":
+		mode, unlock = "W", true
+	case "RLock":
+		mode = "R"
+	case "RUnlock":
+		mode, unlock = "R", true
+	default:
+		return lockOp{}, false // TryLock/TryRLock: conditional, out of scope
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, sel.X); err != nil {
+		return lockOp{}, false
+	}
+	return lockOp{key: buf.String() + "/" + mode, unlock: unlock, pos: call.Pos()}, true
+}

@@ -1,0 +1,41 @@
+// Package atomicmix is the airvet atomicmix corpus: a variable touched
+// through the sync/atomic function API must never also be read or
+// written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	safe atomic.Int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) peek() int64 {
+	return c.hits // want "hits is accessed with sync/atomic"
+}
+
+func (c *counter) bumpSafe() {
+	c.safe.Add(1) // typed atomic wrapper: clean
+}
+
+func (c *counter) peekSafe() int64 {
+	return c.safe.Load()
+}
+
+var pages int64
+
+func bumpPages() {
+	atomic.AddInt64(&pages, 1)
+}
+
+func resetPages() {
+	pages = 0 // want "pages is accessed with sync/atomic"
+}
+
+func loadPages() int64 {
+	return atomic.LoadInt64(&pages) // atomic access again: clean
+}

@@ -1,0 +1,69 @@
+// Package ctxflow is the airvet ctxflow corpus: a function that accepts
+// a context must not reach a blocking operation the context cannot
+// interrupt, and exported APIs must not leak uncancellable goroutines.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+var spins int
+
+func SleepsBlind(ctx context.Context, d time.Duration) {
+	time.Sleep(d) // want "accepts a context but blocks here"
+}
+
+func SleepsChecked(ctx context.Context, d time.Duration) {
+	if ctx.Err() != nil {
+		return // consulting ctx.Err counts as honoring the context
+	}
+	time.Sleep(d)
+}
+
+func RecvGuarded(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func blockingHelper(ch chan int) int {
+	return <-ch
+}
+
+func CallsBlocker(ctx context.Context, ch chan int) int {
+	return blockingHelper(ch) // want "blockingHelper, which blocks"
+}
+
+func forwardsCtx(ctx context.Context, ch chan int) int {
+	return RecvGuarded(ctx, ch) // context passed on: clean
+}
+
+func SpawnsBusyLoop() {
+	go func() { // want "loops forever with no cancellation path"
+		for {
+			spins++
+		}
+	}()
+}
+
+func SpawnsDrainer(ch chan int) {
+	go func() {
+		for v := range ch { // range over channel ends on close: clean
+			spins += v
+		}
+	}()
+}
+
+func SpawnsReturning(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return // context-checked loop: clean
+			}
+		}
+	}()
+}

@@ -1,0 +1,25 @@
+// Package entry is the deterministic entry layer of the facts-engine
+// test module: its exported API reaches time.Now only through a chain
+// of three calls crossing two package boundaries (entry -> mid -> leaf),
+// which the wallclock analyzer must surface here, at the entry point,
+// with the full witness chain.
+//
+//lint:deterministic test module: replay contract spans packages
+package entry
+
+import "factsmod/mid"
+
+// Run is the deterministic entry point under test.
+func Run() int64 {
+	return prepare()
+}
+
+// prepare is hop one (same package).
+func prepare() int64 {
+	return mid.Tick()
+}
+
+// Pure must stay clean: no fact reaches it.
+func Pure(a, b int64) int64 {
+	return a + b
+}

@@ -1,0 +1,12 @@
+// Package leaf holds the buried wall-clock read of the facts-engine
+// test module, two package boundaries away from the deterministic entry
+// point that must be blamed for it.
+package leaf
+
+import "time"
+
+// Stamp is hop three: second package boundary (mid -> leaf), and the
+// direct wall-clock read.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+// Package mid is the middle hop of the facts-engine test module.
+package mid
+
+import "factsmod/leaf"
+
+// Tick is hop two: first package boundary (entry -> mid).
+func Tick() int64 {
+	return leaf.Stamp()
+}

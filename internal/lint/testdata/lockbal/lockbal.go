@@ -1,0 +1,86 @@
+// Package lockbal is the airvet lockbal corpus: every Lock must be
+// balanced by an Unlock on every path to return, and no path may unlock
+// a mutex it does not hold.
+package lockbal
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+func (s *store) deferred(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+func (s *store) leaky(k string) (int, bool) {
+	s.mu.Lock() // want "not unlocked on every path"
+	v, ok := s.data[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+func (s *store) neverReleases(k string, v int) {
+	s.mu.Lock() // want "never unlocked before returning"
+	s.data[k] = v
+}
+
+func (s *store) doubleUnlock(k string) int {
+	s.mu.Lock()
+	v := s.data[k]
+	s.mu.Unlock()
+	s.mu.Unlock() // want "without a held Lock on this path"
+	return v
+}
+
+func (s *store) doubleLock(k string, v int) {
+	s.mu.Lock()
+	s.mu.Lock() // want "already locked on this path"
+	s.data[k] = v
+	s.mu.Unlock()
+}
+
+func (s *store) balancedBranches(flag bool, k string) int {
+	s.mu.Lock()
+	if flag {
+		v := s.data[k]
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *store) readLocked(k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.data[k]
+}
+
+func (s *store) loopBalanced(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		total += s.data[k]
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (s *store) panicPathOwesNothing(k string) int {
+	s.mu.Lock()
+	v, ok := s.data[k]
+	if !ok {
+		s.mu.Unlock()
+		panic("missing key")
+	}
+	s.mu.Unlock()
+	return v
+}

@@ -41,3 +41,12 @@ func suppressed(p *core.Program, abs int) int {
 	//lint:ignore slotmath corpus demonstrates the escape hatch
 	return abs % p.Length()
 }
+
+func suppressedMultiline(p *core.Program, abs, ch int) (int, int) {
+	// The directive on the line above a multi-line statement covers the
+	// whole statement, not just its first line (regression: PR 6).
+	//lint:ignore slotmath corpus demonstrates statement-scoped suppression
+	return abs % p.Length(),
+		(ch + 1) %
+			p.Channels()
+}

@@ -1,0 +1,36 @@
+// Package wallclock is the airvet wallclock corpus: exported entry
+// points of a //lint:deterministic package must not reach the wall
+// clock or the global math/rand source, even through call chains.
+//
+//lint:deterministic corpus package exercising the determinism analyzers
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Entry() int64 { // want "deterministic entry point Entry reaches the wall clock"
+	return helper()
+}
+
+func helper() int64 {
+	return clockRead()
+}
+
+func clockRead() int64 {
+	return time.Now().UnixNano()
+}
+
+func Roll() int { // want "deterministic entry point Roll reaches the global math/rand source"
+	return rand.Intn(6)
+}
+
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: clean
+	return rng.Intn(6)
+}
+
+func Pure(a, b int) int {
+	return a + b
+}

@@ -36,6 +36,8 @@
 // the literal full scan and the package differential tests pin the two
 // against each other. docs/perf.md derives the bound's admissibility and
 // reports the measured evaluated-node reduction.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package opt
 
 import (

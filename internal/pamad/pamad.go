@@ -17,6 +17,8 @@
 //
 // The package reproduces the paper's Figure 2 walkthrough exactly; see the
 // tests.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package pamad
 
 import (

@@ -17,6 +17,8 @@
 //     channel after a multiple of their expected time (the paper's
 //     Section 1 motivation for bounding waits: abandonments become pull
 //     requests that congest the on-demand channel).
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package sim
 
 import (

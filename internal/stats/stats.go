@@ -2,6 +2,8 @@
 // simulators and experiment harness use: streaming moments (Welford),
 // percentiles, histograms and confidence intervals. Everything is
 // deterministic and allocation-conscious.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package stats
 
 import (

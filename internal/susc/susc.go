@@ -24,6 +24,8 @@
 // the bound; Build converts a violation of that guarantee (impossible for
 // valid inputs, by the theorem) into an internal error rather than a panic,
 // so the invariant is machine-checked on every run.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
 package susc
 
 import (

@@ -16,8 +16,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> airvet ./..."
-go run ./cmd/airvet ./...
+echo "==> airvet ./... (against lint_baseline.json)"
+go run ./cmd/airvet -baseline lint_baseline.json ./...
 
 echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
