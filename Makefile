@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet airvet lint lint-baseline test race fuzz bench chaos check
+.PHONY: build vet airvet lint lint-baseline test race fuzz bench chaos netcast loadgen check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,7 @@ fuzz:
 # BENCH_build.json baseline.
 bench:
 	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Measure|Figure5|SUSCBuild|PAMADBuild|OPTSearch' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'Fanout' -benchtime=1x -benchmem ./internal/netcast/
 	$(GO) run ./cmd/airbench -bench -stride 8 -skipopt -requests 300 -dist sskew \
 		-buildout BENCH_build_new.json -buildbaseline BENCH_build.json \
 		$(if $(BASELINE),-baseline $(BASELINE))
@@ -53,6 +54,16 @@ bench:
 # faulted fingerprint). See docs/testing.md.
 chaos:
 	$(GO) run ./cmd/airbench -chaos -chaosout BENCH_chaos_new.json -chaosbaseline BENCH_chaos.json
+
+# Fan-out engine smoke: ring publish cost, loadgen bit-identity, and the
+# sharded-vs-serial UDP slot path, gated against BENCH_netcast.json.
+netcast:
+	$(GO) run ./cmd/airbench -netcast -netcastout BENCH_netcast_new.json -netcastbaseline BENCH_netcast.json
+
+# Quick scenario sweep through the broadcast transport; fault-free cells
+# self-verify against sim.MeasureStream. Artifacts land under results/.
+loadgen:
+	$(GO) run ./cmd/loadgen -clients 100000 -dists uniform,sskew -loss 0,0.1 -churn 0,0.05
 
 check:
 	FUZZTIME=$(FUZZTIME) scripts/check.sh

@@ -13,6 +13,7 @@
 //	airbench -experiment optprune -dist uniform    # OPT pruning ablation
 //	airbench -experiment all                       # everything above
 //	airbench -chaos -chaosbaseline BENCH_chaos.json  # chaos determinism gate
+//	airbench -netcast -netcastbaseline BENCH_netcast.json  # fan-out engine gate
 //
 // -csv switches Figure 5 output to CSV for plotting; -stride k samples
 // every k-th channel count to trade resolution for speed.
@@ -51,6 +52,9 @@ func run(args []string, out io.Writer) error {
 	chaosBench := fs.Bool("chaos", false, "measure the chaos fault-injection engine (zero-fault identity + canonical fault mix) and write a chaos trajectory report")
 	chaosout := fs.String("chaosout", "BENCH_chaos.json", "report path for -chaos")
 	chaosbaseline := fs.String("chaosbaseline", "", "prior -chaos report to compare against; drift fails the run")
+	netcastBench := fs.Bool("netcast", false, "measure the fan-out engine (ring publish, loadgen identities, UDP slot/wire paths) and write a fan-out trajectory report")
+	netcastout := fs.String("netcastout", "BENCH_netcast.json", "report path for -netcast")
+	netcastbaseline := fs.String("netcastbaseline", "", "prior -netcast report to compare against; drift fails the run")
 	benchout := fs.String("benchout", "BENCH_sweep.json", "report path for -bench")
 	baseline := fs.String("baseline", "", "prior -bench report to compare against; regressions fail the run")
 	buildout := fs.String("buildout", "BENCH_build.json", "construction-engine report path for -bench (empty = skip)")
@@ -75,6 +79,14 @@ func run(args []string, out io.Writer) error {
 		return runChaosBench(p, chaosConfig{
 			out:      *chaosout,
 			baseline: *chaosbaseline,
+			slowdown: *maxSlowdown,
+			allocs:   *maxAllocGrowth,
+		}, out)
+	}
+	if *netcastBench {
+		return runNetcastBench(p, netcastConfig{
+			out:      *netcastout,
+			baseline: *netcastbaseline,
 			slowdown: *maxSlowdown,
 			allocs:   *maxAllocGrowth,
 		}, out)

@@ -198,7 +198,7 @@ func RunParallel(a *core.Analysis, stream workload.Stream, cfg Config, workers i
 	}
 	var chanOf [][]int32
 	if active {
-		chanOf = channelTable(prog, ix)
+		chanOf = ChannelTable(prog, ix)
 	}
 
 	partials := make([]partial, shards)
@@ -428,11 +428,13 @@ func summary(o stats.Online, sk *stats.Sketch) stats.Summary {
 	}
 }
 
-// channelTable aligns each page's broadcast channel with its appearance
-// columns: chanOf[p][k] is the channel carrying ix.Columns(p)[k]. Pages
-// appear on one channel in SUSC programs but may straddle channels under
-// PAMAD placement, so the table is per-appearance.
-func channelTable(prog *core.Program, ix *core.AppearanceIndex) [][]int32 {
+// ChannelTable aligns each page's broadcast channel with its appearance
+// columns: the result's [p][k] is the channel carrying ix.Columns(p)[k].
+// Pages appear on one channel in SUSC programs but may straddle channels
+// under PAMAD placement, so the table is per-appearance. Both the
+// measurement engine and the loadgen client harness key their fault
+// lookups through it.
+func ChannelTable(prog *core.Program, ix *core.AppearanceIndex) [][]int32 {
 	pages := prog.GroupSet().Pages()
 	chanOf := make([][]int32, pages)
 	for p := 0; p < pages; p++ {

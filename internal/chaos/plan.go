@@ -294,6 +294,39 @@ func (p *Plan) Lost(ch, abs int) bool {
 	return p.Stalled(abs) || p.Drop(ch, abs) || p.Corrupt(ch, abs)
 }
 
+// SkipReason classifies why one delivery opportunity on a channel was
+// missed, in the measurement engine's ledger taxonomy.
+type SkipReason int
+
+const (
+	// SkipNone: the frame aired intact (churn may still apply per client).
+	SkipNone SkipReason = iota
+	// SkipStall: the server stalled for the whole slot.
+	SkipStall
+	// SkipLoss: the frame was lost in transit (i.i.d. or burst).
+	SkipLoss
+	// SkipCorrupt: the frame arrived but failed its checksum.
+	SkipCorrupt
+)
+
+// Classify reports the channel-side fate of the frame on channel ch at
+// absolute slot abs, evaluating the fault predicates in the same
+// priority order as the measurement engine (stall, then drop, then
+// corruption). Client-side churn is per request, not per frame, and is
+// judged separately via ChurnAway.
+func (p *Plan) Classify(ch, abs int) SkipReason {
+	switch {
+	case p.Stalled(abs):
+		return SkipStall
+	case p.Drop(ch, abs):
+		return SkipLoss
+	case p.Corrupt(ch, abs):
+		return SkipCorrupt
+	default:
+		return SkipNone
+	}
+}
+
 // DropFunc adapts the channel-side faults to the airwave loss interface,
 // for replaying the plan through the discrete-event simulation.
 func (p *Plan) DropFunc() airwave.DropFunc {

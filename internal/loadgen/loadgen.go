@@ -1,0 +1,669 @@
+// Package loadgen drives large simulated client populations — 100k to
+// 1M+ — through the real broadcast runtime: a netcast.Caster publishes
+// every slot of the program into the in-process netcast.BroadcastRing,
+// and sharded client workers poll their pages' appearance slots out of
+// the ring, classify what they observe (received, lost, corrupt,
+// stalled, churned away) and account waits, deadline misses and the
+// fault ledger.
+//
+// The package's contract is bit-identity with the measurement engines:
+// the aggregated Result reproduces chaos.RunParallel exactly — same
+// metrics, same ledger, same trace digest — at any worker count, and
+// with faults off it therefore reproduces sim.MeasureStream exactly.
+// That holds because every client outcome is a pure function of
+// (request, plan): the ring's flow control guarantees no client ever
+// loses a slot to overwrite (a RingLost poll is a hard error, not a
+// statistic), so the transport changes how outcomes are observed, never
+// what they are.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tcsa/internal/chaos"
+	"tcsa/internal/core"
+	"tcsa/internal/netcast"
+	"tcsa/internal/pamad"
+	"tcsa/internal/sim"
+	"tcsa/internal/stats"
+	"tcsa/internal/workload"
+)
+
+// Sketch parameters, identical to sim.MeasureStream's and the chaos
+// engine's: the aggregated sketches must be bit-identical.
+const (
+	sketchQuantileAccuracy = 0.01
+	sketchResolution       = 1 << 20
+)
+
+// FNV-1a 64-bit constants, matching the chaos trace digest.
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+func fnv64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(v>>(8*i)))) * fnvPrime
+	}
+	return h
+}
+
+// Config describes one load-generation scenario: the paper instance, the
+// client population, and the fault plan.
+type Config struct {
+	// Clients is the simulated client population (one request each).
+	Clients int
+	// Workers shards the clients; 0 = GOMAXPROCS. The Result is
+	// bit-identical at any worker count.
+	Workers int
+	// Dist shapes the group-size distribution (paper Figure 3).
+	Dist workload.Distribution
+	// Channels is the broadcast channel count; 0 = the paper's knee,
+	// ceil(MinChannels/5), the operating point the sweep PRs pinned.
+	Channels int
+	// Pages/Groups/BaseTime/Ratio parameterise the instance; zero values
+	// take the paper's Figure 4 defaults (1000, 8, 4, 2).
+	Pages, Groups, BaseTime, Ratio int
+	// Seed drives the request stream (page choices and arrivals).
+	Seed int64
+	// PageChoice selects uniform or Zipf page popularity; Theta is the
+	// Zipf exponent.
+	PageChoice workload.PageChoice
+	Theta      float64
+	// Fault is the chaos plan driven through the transport. The zero
+	// value is fault-free air.
+	Fault chaos.Config
+	// RingSlots is the per-channel broadcast-ring depth; 0 = the netcast
+	// default. Depth only affects scheduling slack, never results.
+	RingSlots int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pages == 0 {
+		c.Pages = 1000
+	}
+	if c.Groups == 0 {
+		c.Groups = 8
+	}
+	if c.BaseTime == 0 {
+		c.BaseTime = 4
+	}
+	if c.Ratio == 0 {
+		c.Ratio = 2
+	}
+	return c
+}
+
+// Result is a loadgen measurement: the full chaos.Result (bit-identical
+// to running chaos.RunParallel on the same inputs) plus the transport's
+// own accounting.
+type Result struct {
+	chaos.Result
+	// Clients echoes the measured population size.
+	Clients int
+	// Channels and CycleLen describe the broadcast program driven.
+	Channels int
+	CycleLen int
+	// SlotsAired is how many slots the caster published (MaxCycles
+	// cycles, always — the air does not stop when clients finish).
+	SlotsAired int64
+	// FaultStats is the server-side fault accounting from the caster;
+	// its classes correspond to the ledger's channel-side skips but count
+	// per (channel, slot), not per waiting client.
+	FaultStats netcast.FaultStats
+}
+
+// Options tunes RunStream independently of scenario construction.
+type Options struct {
+	Workers   int // 0 = GOMAXPROCS
+	RingSlots int // 0 = netcast.DefaultRingSlots
+}
+
+// Materialize builds the scenario cfg describes: the group-set instance,
+// its PAMAD program (at the knee channel count when cfg.Channels is 0)
+// analysed for appearance lookup, and the request stream over it.
+func Materialize(cfg Config) (*core.Analysis, workload.Stream, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Clients < 0 {
+		return nil, nil, fmt.Errorf("loadgen: negative client count %d", cfg.Clients)
+	}
+	gs, err := workload.GroupSet(cfg.Dist, cfg.Groups, cfg.Pages, cfg.BaseTime, cfg.Ratio)
+	if err != nil {
+		return nil, nil, err
+	}
+	channels := cfg.Channels
+	if channels == 0 {
+		channels = core.CeilDiv(gs.MinChannels(), 5)
+	}
+	prog, _, err := pamad.Build(gs, channels)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream, err := workload.NewStream(gs, prog.Length(), workload.RequestConfig{
+		Count:  cfg.Clients,
+		Seed:   cfg.Seed,
+		Choice: cfg.PageChoice,
+		Theta:  cfg.Theta,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.Analyze(prog), stream, nil
+}
+
+// Run materialises the scenario cfg describes (instance, PAMAD program,
+// request stream) and measures it through the in-process transport.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	a, stream, err := Materialize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunStream(ctx, a, stream, cfg.Fault, Options{
+		Workers:   cfg.Workers,
+		RingSlots: cfg.RingSlots,
+	})
+}
+
+// client is one pending request's delivery state machine.
+type client struct {
+	next     int64 // absolute slot of the pending delivery opportunity
+	glob     int64 // global request index (shard*ShardSize + local)
+	page     core.PageID
+	u        float64
+	k        int32
+	wraps    int32
+	attempts int32
+	ch       int32 // channel of the pending opportunity
+}
+
+// eventHeap is a binary min-heap of clients keyed by next slot. It is
+// hand-rolled (rather than container/heap) so pushes and pops in the
+// million-client hot loop stay devirtualised and allocation-free.
+type eventHeap []client
+
+func (h eventHeap) less(i, j int) bool { return h[i].next < h[j].next }
+
+func (h *eventHeap) push(c client) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() client {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// engine carries the shared state of one RunStream measurement.
+type engine struct {
+	ring      *netcast.BroadcastRing
+	plan      *chaos.Plan
+	ix        *core.AppearanceIndex
+	chanOf    [][]int32
+	stream    workload.Stream
+	times     []float64
+	pages     int
+	cycleLen  int
+	maxCycles int
+	active    bool
+
+	waits      []float64
+	attempts   []int32
+	ledgers    []chaos.Ledger
+	watermarks []atomic.Int64
+	failed     atomic.Bool
+}
+
+// RunStream measures stream against the analysed program under the fault
+// plan, through the in-process ring transport. Metrics, ledger and trace
+// digest are bit-identical to chaos.RunParallel on the same inputs at any
+// worker count; with an inactive fault config they are therefore
+// bit-identical to sim.MeasureStream.
+func RunStream(ctx context.Context, a *core.Analysis, stream workload.Stream, fault chaos.Config, opts Options) (*Result, error) {
+	if a == nil {
+		return nil, errors.New("loadgen: nil analysis")
+	}
+	if stream == nil {
+		return nil, errors.New("loadgen: nil stream")
+	}
+	prog := a.Program()
+	plan, err := chaos.NewPlan(fault, prog.Channels(), prog.Length())
+	if err != nil {
+		return nil, err
+	}
+	maxCycles := fault.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = chaos.DefaultMaxCycles
+	}
+	base := &Result{
+		Clients:  stream.Count(),
+		Channels: prog.Channels(),
+		CycleLen: prog.Length(),
+	}
+	count := stream.Count()
+	if count == 0 {
+		return finish(base, plan, prog)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := stream.Shards()
+	if workers > shards {
+		workers = shards
+	}
+	ring, err := netcast.NewBroadcastRing(prog.Channels(), opts.RingSlots)
+	if err != nil {
+		return nil, err
+	}
+	caster, err := netcast.NewCaster(prog, ring, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	gs := prog.GroupSet()
+	times := make([]float64, gs.Pages())
+	for i := range times {
+		times[i] = float64(gs.TimeOf(core.PageID(i)))
+	}
+	eng := &engine{
+		ring:       ring,
+		plan:       plan,
+		ix:         a.Index(),
+		chanOf:     chaos.ChannelTable(prog, a.Index()),
+		stream:     stream,
+		times:      times,
+		pages:      gs.Pages(),
+		cycleLen:   prog.Length(),
+		maxCycles:  maxCycles,
+		active:     fault.Active(),
+		waits:      make([]float64, count),
+		attempts:   make([]int32, count),
+		ledgers:    make([]chaos.Ledger, shards),
+		watermarks: make([]atomic.Int64, workers),
+	}
+
+	slotsAired := int64(maxCycles) * int64(prog.Length())
+	errs := make([]error, workers+1)
+	var wg sync.WaitGroup
+	wg.Add(workers + 1)
+	go func() {
+		defer wg.Done()
+		errs[workers] = eng.broadcast(ctx, caster, slotsAired)
+	}()
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			errs[w] = eng.work(ctx, w, workers, shards)
+		}()
+	}
+	wg.Wait()
+	// The broadcaster and every worker poll ctx and unblock on
+	// cancellation, so the join above terminates; a cancelled run never
+	// reports results, even if the goroutines happened to finish first.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := eng.fold(base, count, shards)
+	if err != nil {
+		return nil, err
+	}
+	res.SlotsAired = slotsAired
+	res.FaultStats = caster.Faults()
+	return finish(res, plan, prog)
+}
+
+// broadcast publishes exactly slots slots through the caster — the air
+// does not stop when clients finish, so the server-side FaultStats are a
+// deterministic function of the plan — pacing itself so no slot a client
+// still needs is ever overwritten: slot abs may air only once every
+// worker's pending watermark is within one ring length of it. Watermarks
+// are per-worker monotone (a heap pops in slot order and every retry
+// reschedules later), so a slot that cleared the gate can never be
+// wanted again.
+func (e *engine) broadcast(ctx context.Context, caster *netcast.Caster, slots int64) error {
+	ringSlots := int64(e.ring.Slots())
+	for abs := int64(0); abs < slots; abs++ {
+		// abs-ringSlots >= watermark, not abs >= watermark+ringSlots: the
+		// finished-worker watermark is MaxInt64 and must not overflow.
+		for abs-ringSlots >= e.minWatermark() {
+			if err := ctx.Err(); err != nil {
+				e.failed.Store(true)
+				return err
+			}
+			if e.failed.Load() {
+				return nil
+			}
+			runtime.Gosched()
+		}
+		caster.CastSlot(int(abs))
+	}
+	return nil
+}
+
+func (e *engine) minWatermark() int64 {
+	min := int64(math.MaxInt64)
+	for i := range e.watermarks {
+		if w := e.watermarks[i].Load(); w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// work runs one client shard-group: build the delivery state machines
+// for every owned shard, then drain them in slot order against the ring.
+// The worker's watermark stays 0 for the whole build phase — a later
+// shard can contribute an earlier first event, so advancing it early
+// would let the broadcaster overwrite a slot a still-unbuilt client
+// needs.
+func (e *engine) work(ctx context.Context, w, workers, shards int) error {
+	defer e.watermarks[w].Store(math.MaxInt64)
+	heap := make(eventHeap, 0, (e.stream.Count()/workers)+1)
+	cur := e.stream.NewCursor()
+	L := float64(e.cycleLen)
+	var r workload.Request
+	for shard := w; shard < shards; shard += workers {
+		ledger := &e.ledgers[shard]
+		cur.Seek(shard)
+		for local := 0; cur.Next(&r); local++ {
+			glob := int64(shard)*workload.ShardSize + int64(local)
+			if r.Page < 0 || int(r.Page) >= e.pages {
+				e.failed.Store(true)
+				return fmt.Errorf("%w: request %d page %d", core.ErrPageRange, glob, r.Page)
+			}
+			if r.Arrival < 0 {
+				e.failed.Store(true)
+				return fmt.Errorf("%w: request %d arrival %f negative", core.ErrSlotRange, glob, r.Arrival)
+			}
+			u := math.Mod(r.Arrival, L)
+			cols := e.ix.Columns(r.Page)
+			if len(cols) == 0 {
+				// Never-aired page: the engines charge a full cycle.
+				e.waits[glob] = L
+				continue
+			}
+			// First candidate appearance at or after the arrival offset.
+			// One comparison form serves both engine branches: for integer
+			// columns, col >= u (float) and col >= ceil(u) (int) select the
+			// same k, and the sorted-cursor walk stops there too.
+			k := int32(sort.Search(len(cols), func(i int) bool { return float64(cols[i]) >= u }))
+			wraps := int32(0)
+			if int(k) == len(cols) {
+				k, wraps = 0, 1
+			}
+			if int(wraps) >= e.maxCycles {
+				// Only reachable at MaxCycles 1 with a wrapped arrival:
+				// the engine gives up before the first opportunity.
+				ledger.Unserved++
+				e.waits[glob] = float64(e.maxCycles) * L
+				continue
+			}
+			heap.push(client{
+				glob:  glob,
+				page:  r.Page,
+				u:     u,
+				k:     k,
+				wraps: wraps,
+				next:  int64(wraps)*int64(e.cycleLen) + int64(cols[k]),
+				ch:    e.chanOf[r.Page][k],
+			})
+		}
+	}
+	for len(heap) > 0 {
+		next := heap[0].next
+		e.watermarks[w].Store(next)
+		ch := int(heap[0].ch)
+		for e.ring.Head(ch) <= next {
+			if err := ctx.Err(); err != nil {
+				e.failed.Store(true)
+				return err
+			}
+			if e.failed.Load() {
+				return nil
+			}
+			runtime.Gosched()
+		}
+		c := heap.pop()
+		done, err := e.step(&c, &e.ledgers[int(c.glob/workload.ShardSize)], L)
+		if err != nil {
+			e.failed.Store(true)
+			return err
+		}
+		if !done {
+			heap.push(c)
+		}
+	}
+	return nil
+}
+
+// step resolves one delivery opportunity for client c against the ring,
+// in the measurement engine's exact priority order: the slot's poll
+// status covers the channel-side faults (stall, loss, corruption), a
+// received frame can still be missed to client churn, and a served
+// client computes its wait with the engine's exact arithmetic.
+func (e *engine) step(c *client, ledger *chaos.Ledger, L float64) (done bool, err error) {
+	abs := c.next
+	cols := e.ix.Columns(c.page)
+	f, st := e.ring.Poll(int(c.ch), abs)
+	skipped := true
+	switch st {
+	case netcast.RingOK:
+		if f.Page != c.page {
+			return false, fmt.Errorf("loadgen: slot %d channel %d carried page %d, client expected %d",
+				abs, c.ch, f.Page, c.page)
+		}
+		if e.active && e.plan.ChurnAway(c.glob, int(c.attempts)) {
+			ledger.ChurnSkips++
+		} else {
+			skipped = false
+		}
+	case netcast.RingSkipped:
+		switch e.plan.Classify(int(c.ch), int(abs)) {
+		case chaos.SkipStall:
+			ledger.StallSkips++
+		case chaos.SkipLoss:
+			ledger.LostDeliveries++
+		default:
+			return false, fmt.Errorf("loadgen: slot %d channel %d skipped without a plan fault", abs, c.ch)
+		}
+	case netcast.RingCorrupt:
+		if e.plan.Classify(int(c.ch), int(abs)) != chaos.SkipCorrupt {
+			return false, fmt.Errorf("loadgen: slot %d channel %d corrupt without a plan fault", abs, c.ch)
+		}
+		ledger.CorruptSkips++
+	case netcast.RingLost:
+		// Flow control guarantees this cannot happen; if it does, the
+		// determinism contract is broken and the run must fail loudly.
+		return false, fmt.Errorf("loadgen: slot %d channel %d overwritten before client %d read it",
+			abs, c.ch, c.glob)
+	case netcast.RingPending:
+		return false, fmt.Errorf("loadgen: slot %d channel %d polled before airing", abs, c.ch)
+	}
+	if skipped {
+		c.attempts++
+		ledger.Retries++
+		if c.k++; int(c.k) == len(cols) {
+			c.k, c.wraps = 0, c.wraps+1
+		}
+		if int(c.wraps) >= e.maxCycles {
+			ledger.Unserved++
+			e.waits[c.glob] = float64(e.maxCycles) * L
+			e.attempts[c.glob] = c.attempts
+			return true, nil
+		}
+		c.next = int64(c.wraps)*int64(e.cycleLen) + int64(cols[c.k])
+		c.ch = e.chanOf[c.page][c.k]
+		return false, nil
+	}
+	var wait float64
+	if c.wraps == 0 {
+		wait = float64(cols[c.k]) - c.u
+	} else {
+		wait = float64(cols[c.k]) + float64(c.wraps)*L - c.u
+	}
+	// With an inactive plan this adds exactly +0.0, so the fault-free
+	// wait stays bit-identical to the engines' closed-form branch.
+	wait += e.plan.JitterAt(int(abs))
+	e.waits[c.glob] = wait
+	e.attempts[c.glob] = c.attempts
+	return true, nil
+}
+
+// fold aggregates the per-request outcomes exactly as the measurement
+// engines do: per-shard partials accumulated in request order, folded in
+// ascending shard order — the float-summation order that makes the
+// result worker-count-independent and engine-identical. The sketches are
+// integer-binned and therefore order-insensitive; one pair fed in fold
+// order equals the engines' merged per-worker sketches.
+func (e *engine) fold(base *Result, count, shards int) (*Result, error) {
+	L := float64(e.cycleLen)
+	ws, err1 := stats.NewSketch(L/sketchResolution, L, sketchQuantileAccuracy)
+	ds, err2 := stats.NewSketch(L/sketchResolution, L, sketchQuantileAccuracy)
+	if err := errors.Join(err1, err2); err != nil {
+		return nil, err
+	}
+
+	var wait, delay stats.Online
+	var waitSum, delaySum float64
+	var misses int64
+	var ledger chaos.Ledger
+	digest := fnvOffset
+	cur := e.stream.NewCursor()
+	var r workload.Request
+	for shard := 0; shard < shards; shard++ {
+		var pw, pd stats.Online
+		var pwSum, pdSum float64
+		var pMisses int64
+		pDigest := fnvOffset
+		cur.Seek(shard)
+		for local := 0; cur.Next(&r); local++ {
+			glob := int64(shard)*workload.ShardSize + int64(local)
+			wv := e.waits[glob]
+			dv := wv - e.times[r.Page]
+			if dv < 0 {
+				dv = 0
+			} else if dv > 0 {
+				pMisses++
+			}
+			pw.Add(wv)
+			pd.Add(dv)
+			pwSum += wv
+			pdSum += dv
+			ws.Add(wv)
+			ds.Add(dv)
+			d := fnv64(pDigest, uint64(uint32(r.Page)))
+			d = fnv64(d, math.Float64bits(wv))
+			pDigest = fnv64(d, uint64(e.attempts[glob]))
+		}
+		wait.Merge(pw)
+		delay.Merge(pd)
+		waitSum += pwSum
+		delaySum += pdSum
+		misses += pMisses
+		addLedger(&ledger, &e.ledgers[shard])
+		digest = fnv64(digest, pDigest)
+	}
+
+	base.Metrics = sim.Metrics{
+		Requests:  count,
+		AvgWait:   waitSum / float64(count),
+		AvgDelay:  delaySum / float64(count),
+		MissRatio: float64(misses) / float64(count),
+		Wait:      summarize(wait, ws),
+		Delay:     summarize(delay, ds),
+	}
+	base.Ledger = ledger
+	base.Misses = misses
+	base.TraceDigest = digest
+	return base, nil
+}
+
+func addLedger(l, o *chaos.Ledger) {
+	l.LostDeliveries += o.LostDeliveries
+	l.CorruptSkips += o.CorruptSkips
+	l.StallSkips += o.StallSkips
+	l.ChurnSkips += o.ChurnSkips
+	l.Retries += o.Retries
+	l.Unserved += o.Unserved
+}
+
+// finish attaches the plan-level quantities exactly as the chaos engine
+// does: effective loss always, the graceful-degradation replan when the
+// config asks for one and the plan degrades capacity below nominal.
+func finish(res *Result, plan *chaos.Plan, prog *core.Program) (*Result, error) {
+	res.EffectiveLoss = plan.EffectiveLossRate()
+	if plan.Config().Replan {
+		eff := plan.EffectiveChannels()
+		if eff < prog.Channels() {
+			_, pr, err := pamad.Build(prog.GroupSet(), eff)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: degradation replan at %d channels: %w", eff, err)
+			}
+			res.Result.Replan = &chaos.Replan{
+				EffectiveChannels: eff,
+				Frequencies:       pr.Frequencies,
+				MajorCycle:        pr.MajorCycle,
+				AnalyticDelay:     pr.Delay,
+			}
+		}
+	}
+	return res, nil
+}
+
+// summarize mirrors the engines' summary construction.
+func summarize(o stats.Online, sk *stats.Sketch) stats.Summary {
+	return stats.Summary{
+		N:      int(o.N()),
+		Mean:   o.Mean(),
+		StdDev: o.StdDev(),
+		Min:    o.Min(),
+		Max:    o.Max(),
+		P50:    sk.Quantile(0.50),
+		P95:    sk.Quantile(0.95),
+		P99:    sk.Quantile(0.99),
+	}
+}

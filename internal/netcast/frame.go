@@ -32,6 +32,29 @@ const (
 	FrameSize = 16
 )
 
+// Field offsets of the encoded frame. appendFrame and parseFrame index
+// through these so the layout is written down exactly once.
+const (
+	frameMagicOff   = 0  // magic(2)
+	frameVersionOff = 2  // version(1)
+	frameFlagsOff   = 3  // flags(1)
+	frameChannelOff = 4  // channel(2)
+	frameSumOff     = 6  // checksum(2)
+	frameSlotOff    = 8  // slot(4)
+	framePageOff    = 12 // page(4)
+)
+
+// Fault injection flips exactly one payload byte after the checksum is
+// computed. The probe sits inside the page field — payload, not framing —
+// so a corrupted frame still looks like traffic from this protocol: a
+// version-2 receiver rejects it by checksum, while a checksum-less
+// version-1 receiver decodes a wrong page (the corruption version 2 was
+// introduced to catch).
+const (
+	corruptFlipOffset = framePageOff + 1
+	corruptFlipMask   = 0xA5
+)
+
 // ErrBadFrame reports an undecodable datagram.
 var ErrBadFrame = errors.New("netcast: bad frame")
 
@@ -54,7 +77,7 @@ type Frame struct {
 func frameSum(b []byte) uint16 {
 	h := uint32(2166136261)
 	for i, c := range b {
-		if i == 6 || i == 7 {
+		if i == frameSumOff || i == frameSumOff+1 {
 			continue // the checksum's own slot
 		}
 		h = (h ^ uint32(c)) * 16777619
@@ -65,13 +88,13 @@ func frameSum(b []byte) uint16 {
 // appendFrame encodes f onto buf.
 func appendFrame(buf []byte, f Frame) []byte {
 	var b [FrameSize]byte
-	binary.BigEndian.PutUint16(b[0:2], frameMagic)
-	b[2] = frameVersion
-	b[3] = 0
-	binary.BigEndian.PutUint16(b[4:6], uint16(f.Channel))
-	binary.BigEndian.PutUint32(b[8:12], f.Slot)
-	binary.BigEndian.PutUint32(b[12:16], uint32(f.Page))
-	binary.BigEndian.PutUint16(b[6:8], frameSum(b[:]))
+	binary.BigEndian.PutUint16(b[frameMagicOff:], frameMagic)
+	b[frameVersionOff] = frameVersion
+	b[frameFlagsOff] = 0
+	binary.BigEndian.PutUint16(b[frameChannelOff:], uint16(f.Channel))
+	binary.BigEndian.PutUint32(b[frameSlotOff:], f.Slot)
+	binary.BigEndian.PutUint32(b[framePageOff:], uint32(f.Page))
+	binary.BigEndian.PutUint16(b[frameSumOff:], frameSum(b[:]))
 	return append(buf, b[:]...)
 }
 
@@ -80,24 +103,72 @@ func parseFrame(b []byte) (Frame, error) {
 	if len(b) != FrameSize {
 		return Frame{}, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(b))
 	}
-	if binary.BigEndian.Uint16(b[0:2]) != frameMagic {
-		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, b[0:2])
+	if binary.BigEndian.Uint16(b[frameMagicOff:]) != frameMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic %#x", ErrBadFrame, b[frameMagicOff:frameMagicOff+2])
 	}
-	switch b[2] {
+	switch b[frameVersionOff] {
 	case frameVersion:
-		if got, want := binary.BigEndian.Uint16(b[6:8]), frameSum(b); got != want {
+		if got, want := binary.BigEndian.Uint16(b[frameSumOff:]), frameSum(b); got != want {
 			return Frame{}, fmt.Errorf("%w: checksum %#04x, computed %#04x", ErrBadFrame, got, want)
 		}
 	case frameVersionV1:
 		// Pre-checksum wire format: nothing further to verify.
 	default:
-		return Frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, b[2])
+		return Frame{}, fmt.Errorf("%w: version %d", ErrBadFrame, b[frameVersionOff])
 	}
 	return Frame{
-		Channel: int(binary.BigEndian.Uint16(b[4:6])),
-		Slot:    binary.BigEndian.Uint32(b[8:12]),
-		Page:    core.PageID(int32(binary.BigEndian.Uint32(b[12:16]))),
+		Channel: int(binary.BigEndian.Uint16(b[frameChannelOff:])),
+		Slot:    binary.BigEndian.Uint32(b[frameSlotOff:]),
+		Page:    core.PageID(int32(binary.BigEndian.Uint32(b[framePageOff:]))),
 	}, nil
+}
+
+// packFrameWords splits an encoded frame into the two big-endian machine
+// words the broadcast ring stores atomically (FrameSize is exactly 16).
+func packFrameWords(b []byte) (w0, w1 uint64) {
+	return binary.BigEndian.Uint64(b[0:8]), binary.BigEndian.Uint64(b[8:16])
+}
+
+// frameFromWords is parseFrame over the ring's packed representation: the
+// same validation rules, no byte slice, no allocation on any path (the
+// ring's subscriber hot loop calls this once per poll).
+func frameFromWords(w0, w1 uint64) (Frame, bool) {
+	if uint16(w0>>48) != frameMagic {
+		return Frame{}, false
+	}
+	switch byte(w0 >> 40) {
+	case frameVersion:
+		if uint16(w0) != frameSumWords(w0, w1) {
+			return Frame{}, false
+		}
+	case frameVersionV1:
+		// Pre-checksum wire format: nothing further to verify.
+	default:
+		return Frame{}, false
+	}
+	return Frame{
+		Channel: int(uint16(w0 >> 16)),
+		Slot:    uint32(w1 >> 32),
+		Page:    core.PageID(int32(uint32(w1))),
+	}, true
+}
+
+// frameSumWords is frameSum over the packed words: identical fold,
+// identical skip of the checksum's own bytes.
+func frameSumWords(w0, w1 uint64) uint16 {
+	h := uint32(2166136261)
+	for i := 0; i < FrameSize; i++ {
+		if i == frameSumOff || i == frameSumOff+1 {
+			continue
+		}
+		w := w0
+		if i >= 8 {
+			w = w1
+		}
+		c := byte(w >> (56 - 8*uint(i%8)))
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return uint16(h>>16) ^ uint16(h)
 }
 
 // Control datagrams.

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"tcsa/internal/core"
@@ -14,7 +13,7 @@ import (
 
 // FaultInjector decides, per absolute slot, whether the server's
 // transmission is impaired. The contract matches chaos.Plan so a
-// deterministic fault schedule drives the real UDP broadcaster with no
+// deterministic fault schedule drives the real broadcaster with no
 // adapter: Stalled silences every channel for the slot, Drop suppresses
 // one channel's frame, Corrupt flips a payload byte after the checksum
 // is computed so tuners detect and discard the frame.
@@ -31,54 +30,39 @@ type ServerConfig struct {
 	// page transmission time of its radio link.
 	SlotDuration time.Duration
 	// Host is the interface to bind, default "127.0.0.1". One UDP socket is
-	// opened per broadcast channel on an ephemeral port.
+	// opened per broadcast channel on an ephemeral port. Ignored when
+	// Transport is set.
 	Host string
 	// Fault, when non-nil, injects transmission faults per slot. The slot
 	// counter still advances during a stall: broadcast time is locked to
 	// the wall clock, a stalled server simply wastes its slots.
 	Fault FaultInjector
+	// Transport, when non-nil, replaces the default UDP transport — e.g. a
+	// BroadcastRing for in-process load generation. The server takes
+	// ownership: Stop closes it. Channel count must match the program.
+	Transport Transport
 }
 
-// FaultStats counts the faults a Server has injected so far.
-type FaultStats struct {
-	StalledSlots  int64 // whole slots silenced across all channels
-	DroppedFrames int64 // per-channel frames suppressed
-	CorruptFrames int64 // per-channel frames sent with a flipped byte
-}
-
-// Server replays a broadcast program over UDP, one socket per channel, one
-// frame per slot to every subscriber of that channel.
+// Server replays a broadcast program in real time: one tick per slot,
+// each tick encoded once per channel by a Caster and fanned out through
+// a pluggable Transport (UDP sockets by default, an in-process
+// BroadcastRing for load generation).
 type Server struct {
 	prog    *core.Program
 	slotDur time.Duration
-	conns   []*net.UDPConn
-	fault   FaultInjector
-
-	stalledSlots  atomic.Int64
-	droppedFrames atomic.Int64
-	corruptFrames atomic.Int64
+	caster  *Caster
+	tr      Transport
+	udp     *UDPTransport // non-nil iff tr is the default UDP transport
 
 	mu   sync.Mutex
-	subs []map[string]*net.UDPAddr // per channel, keyed by addr string
-	// snaps[ch] is a copy-on-write snapshot of subs[ch]: readControl swaps
-	// in a freshly built slice on every SUB/UNS and nobody mutates a
-	// published snapshot, so transmit can fan frames out from it outside
-	// the lock instead of rebuilding the target list every tick.
-	snaps [][]*net.UDPAddr
-	slot  uint32
-
-	// Scratch reused across ticks by transmit, which only ever runs on the
-	// Run tick goroutine: the per-channel snapshot headers and the frame
-	// encode buffer.
-	targets [][]*net.UDPAddr
-	frame   []byte
+	slot uint32
 
 	stopOnce sync.Once
 	stopped  chan struct{}
-	wg       sync.WaitGroup
 }
 
-// NewServer binds the per-channel sockets; call Run to start transmitting.
+// NewServer builds the transport (binding the per-channel sockets unless
+// cfg.Transport overrides it); call Run to start transmitting.
 func NewServer(prog *core.Program, cfg ServerConfig) (*Server, error) {
 	if prog == nil {
 		return nil, errors.New("netcast: nil program")
@@ -86,57 +70,58 @@ func NewServer(prog *core.Program, cfg ServerConfig) (*Server, error) {
 	if cfg.SlotDuration <= 0 {
 		return nil, fmt.Errorf("netcast: slot duration %v", cfg.SlotDuration)
 	}
-	host := cfg.Host
-	if host == "" {
-		host = "127.0.0.1"
-	}
 	s := &Server{
 		prog:    prog,
 		slotDur: cfg.SlotDuration,
-		fault:   cfg.Fault,
-		subs:    make([]map[string]*net.UDPAddr, prog.Channels()),
-		snaps:   make([][]*net.UDPAddr, prog.Channels()),
-		targets: make([][]*net.UDPAddr, prog.Channels()),
-		frame:   make([]byte, 0, FrameSize),
+		tr:      cfg.Transport,
 		stopped: make(chan struct{}),
 	}
-	for ch := 0; ch < prog.Channels(); ch++ {
-		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(host)})
+	if s.tr == nil {
+		udp, err := NewUDPTransport(prog.Channels(), cfg.Host)
 		if err != nil {
-			s.closeConns()
-			return nil, fmt.Errorf("netcast: binding channel %d: %w", ch, err)
+			return nil, err
 		}
-		s.conns = append(s.conns, conn)
-		s.subs[ch] = make(map[string]*net.UDPAddr)
+		s.tr = udp
+		s.udp = udp
 	}
+	caster, err := NewCaster(prog, s.tr, cfg.Fault)
+	if err != nil {
+		if s.udp != nil {
+			_ = s.udp.Close()
+		}
+		return nil, err
+	}
+	s.caster = caster
 	return s, nil
 }
 
+// errNotUDP reports a socket-only accessor used with a custom transport.
+var errNotUDP = errors.New("netcast: server is not using the UDP transport")
+
 // ChannelAddr returns the UDP address of broadcast channel ch.
 func (s *Server) ChannelAddr(ch int) (*net.UDPAddr, error) {
-	if ch < 0 || ch >= len(s.conns) {
-		return nil, fmt.Errorf("%w: channel %d", core.ErrSlotRange, ch)
+	if s.udp == nil {
+		return nil, errNotUDP
 	}
-	return s.conns[ch].LocalAddr().(*net.UDPAddr), nil
+	return s.udp.ChannelAddr(ch)
 }
 
-// ChannelAddrs returns all channel addresses in channel order.
+// ChannelAddrs returns all channel addresses in channel order, or nil if
+// the server is not using the UDP transport.
 func (s *Server) ChannelAddrs() []*net.UDPAddr {
-	addrs := make([]*net.UDPAddr, len(s.conns))
-	for ch := range s.conns {
-		addrs[ch] = s.conns[ch].LocalAddr().(*net.UDPAddr)
+	if s.udp == nil {
+		return nil
 	}
-	return addrs
+	return s.udp.ChannelAddrs()
 }
 
-// Subscribers returns the current subscriber count of channel ch.
+// Subscribers returns the current subscriber count of channel ch (zero
+// for non-UDP transports, which do not track subscribers).
 func (s *Server) Subscribers(ch int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ch < 0 || ch >= len(s.subs) {
+	if s.udp == nil {
 		return 0
 	}
-	return len(s.subs[ch])
+	return s.udp.Subscribers(ch)
 }
 
 // Slot returns the next slot index to transmit.
@@ -149,36 +134,23 @@ func (s *Server) Slot() uint32 {
 // Faults reports the faults injected so far. Safe to call concurrently
 // with Run.
 func (s *Server) Faults() FaultStats {
-	return FaultStats{
-		StalledSlots:  s.stalledSlots.Load(),
-		DroppedFrames: s.droppedFrames.Load(),
-		CorruptFrames: s.corruptFrames.Load(),
-	}
+	return s.caster.Faults()
 }
 
-// Run transmits until ctx is cancelled or Stop is called. It owns the
-// control-message readers and the tick loop and returns after both have
-// shut down cleanly.
-func (s *Server) Run(ctx context.Context) error {
-	for ch := range s.conns {
-		ch := ch
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.readControl(ch)
-		}()
-	}
+// Transport returns the transport the server broadcasts through.
+func (s *Server) Transport() Transport { return s.tr }
 
+// Run transmits until ctx is cancelled or Stop is called; the transport
+// owns its own reader/worker goroutines, Run owns only the slot clock.
+func (s *Server) Run(ctx context.Context) error {
 	ticker := time.NewTicker(s.slotDur)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			s.Stop()
-			s.wg.Wait()
 			return ctx.Err()
 		case <-s.stopped:
-			s.wg.Wait()
 			return nil
 		case <-ticker.C:
 			s.transmit()
@@ -186,91 +158,21 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 }
 
-// Stop ends transmission and unblocks Run. Safe to call more than once and
-// concurrently with Run.
+// Stop ends transmission, closes the transport and unblocks Run. Safe to
+// call more than once and concurrently with Run.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopped)
-		s.closeConns() // unblocks the control readers
+		_ = s.tr.Close()
 	})
 }
 
-func (s *Server) closeConns() {
-	for _, c := range s.conns {
-		if c != nil {
-			_ = c.Close()
-		}
-	}
-}
-
-// readControl consumes SUB/UNS datagrams on channel ch's socket until it
-// is closed.
-func (s *Server) readControl(ch int) {
-	buf := make([]byte, 64)
-	for {
-		n, addr, err := s.conns[ch].ReadFromUDP(buf)
-		if err != nil {
-			return // socket closed by Stop
-		}
-		switch string(buf[:n]) {
-		case string(subscribeMsg):
-			s.mu.Lock()
-			s.subs[ch][addr.String()] = addr
-			s.resnap(ch)
-			s.mu.Unlock()
-		case string(unsubscribeMsg):
-			s.mu.Lock()
-			delete(s.subs[ch], addr.String())
-			s.resnap(ch)
-			s.mu.Unlock()
-		default:
-			// Unknown control traffic is ignored; the air interface has no
-			// back-channel errors either.
-		}
-	}
-}
-
-// resnap publishes a fresh immutable snapshot of subs[ch]. Callers hold mu.
-func (s *Server) resnap(ch int) {
-	snap := make([]*net.UDPAddr, 0, len(s.subs[ch]))
-	for _, a := range s.subs[ch] {
-		snap = append(snap, a)
-	}
-	s.snaps[ch] = snap
-}
-
-// transmit sends the current column on every channel to its subscribers.
-// The lock is held only long enough to claim the slot and copy the
-// per-channel snapshot headers; the snapshots themselves are immutable, so
-// the sends happen unlocked without racing SUB/UNS handling.
+// transmit claims the next slot under the lock and hands it to the slot
+// engine; all fan-out happens behind the Transport.
 func (s *Server) transmit() {
 	s.mu.Lock()
 	slot := s.slot
 	s.slot++
-	copy(s.targets, s.snaps)
 	s.mu.Unlock()
-
-	if s.fault != nil && s.fault.Stalled(int(slot)) {
-		s.stalledSlots.Add(1)
-		return
-	}
-	col := s.prog.Column(int(slot))
-	for ch := range s.conns {
-		if s.fault != nil && s.fault.Drop(ch, int(slot)) {
-			s.droppedFrames.Add(1)
-			continue
-		}
-		f := Frame{Channel: ch, Slot: slot, Page: s.prog.At(ch, col)}
-		s.frame = appendFrame(s.frame[:0], f)
-		if s.fault != nil && s.fault.Corrupt(ch, int(slot)) {
-			// Flip a page byte after the checksum was computed: the frame
-			// goes out damaged and every tuner's parseFrame rejects it.
-			s.frame[13] ^= 0xA5
-			s.corruptFrames.Add(1)
-		}
-		for _, addr := range s.targets[ch] {
-			// Best-effort, like the air: a failed send is a lost frame.
-			_, _ = s.conns[ch].WriteToUDP(s.frame, addr)
-		}
-	}
+	s.caster.CastSlot(int(slot))
 }

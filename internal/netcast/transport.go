@@ -1,0 +1,133 @@
+package netcast
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"tcsa/internal/core"
+)
+
+// Transport is the fan-out substrate a broadcast slot engine publishes
+// through. The engine (Caster) does the per-(channel, slot) work that is
+// independent of the subscriber count — claiming the column, injecting
+// faults, encoding the frame once — and the transport does the delivery:
+// over UDP sockets to every subscriber, or into the in-process broadcast
+// ring subscribers read lock-free.
+type Transport interface {
+	// Channels reports the channel count the transport was built for.
+	Channels() int
+	// NeedsFrame reports whether channel ch wants a frame published even
+	// though the engine might know of nothing listening. Transports whose
+	// per-slot delivery cost scales with the subscriber count (UDP)
+	// return false for silent channels so the engine can skip the encode
+	// and fault work; transports with O(1) delivery cost (the ring)
+	// always return true — late subscribers can still read the slot.
+	NeedsFrame(ch int) bool
+	// Publish delivers the encoded frame (FrameSize bytes) for channel ch
+	// at absolute slot abs. The buffer is reused by the caller:
+	// implementations must copy what they need before returning.
+	Publish(ch, abs int, frame []byte)
+	// Skip records that channel ch transmits nothing at slot abs — a
+	// stall, an injected drop, or a silent channel. The ring advances its
+	// slot watermark so subscribers can tell "lost" from "not yet aired";
+	// UDP has nothing to do (a missing datagram is the loss).
+	Skip(ch, abs int)
+	// Close releases the transport's resources and stops its workers.
+	// Safe to call more than once.
+	Close() error
+}
+
+// FaultStats counts the faults a slot engine has injected so far.
+type FaultStats struct {
+	StalledSlots  int64 // whole slots silenced across all channels
+	DroppedFrames int64 // per-channel frames suppressed
+	CorruptFrames int64 // per-channel frames sent with a flipped byte
+}
+
+// Caster is the transport-independent slot engine: one call per absolute
+// slot encodes each channel's frame exactly once and publishes it through
+// the Transport, with fault injection applied in the same priority order
+// as the chaos measurement engine (stall, then drop, then corruption).
+//
+// CastSlot is not safe for concurrent use — one goroutine (the server's
+// tick loop, or a load generator's virtual-time broadcaster) owns the
+// cast sequence. The fault counters may be read concurrently via Faults.
+type Caster struct {
+	prog  *core.Program
+	tr    Transport
+	fault FaultInjector
+	frame []byte
+
+	stalledSlots  atomic.Int64
+	droppedFrames atomic.Int64
+	corruptFrames atomic.Int64
+}
+
+// NewCaster builds a slot engine for prog over tr. fault may be nil
+// (fault-free air).
+func NewCaster(prog *core.Program, tr Transport, fault FaultInjector) (*Caster, error) {
+	if prog == nil {
+		return nil, errors.New("netcast: nil program")
+	}
+	if tr == nil {
+		return nil, errors.New("netcast: nil transport")
+	}
+	if tr.Channels() != prog.Channels() {
+		return nil, errors.New("netcast: transport/program channel count mismatch")
+	}
+	return &Caster{
+		prog:  prog,
+		tr:    tr,
+		fault: fault,
+		frame: make([]byte, 0, FrameSize),
+	}, nil
+}
+
+// CastSlot encodes and publishes absolute slot abs on every channel.
+func (c *Caster) CastSlot(abs int) {
+	if c.fault != nil && c.fault.Stalled(abs) {
+		// The slot counter still advances during a stall: broadcast time
+		// is locked to the clock, a stalled server simply wastes the slot.
+		c.stalledSlots.Add(1)
+		for ch := 0; ch < c.prog.Channels(); ch++ {
+			c.tr.Skip(ch, abs)
+		}
+		return
+	}
+	col := c.prog.Column(abs)
+	for ch := 0; ch < c.prog.Channels(); ch++ {
+		if !c.tr.NeedsFrame(ch) {
+			// Nobody is listening and the transport pays per subscriber:
+			// skip the fault predicates and the encode outright. A frame
+			// that was never sent cannot be dropped or corrupted, so the
+			// fault counters only ever account for channels with
+			// listeners on this path.
+			c.tr.Skip(ch, abs)
+			continue
+		}
+		if c.fault != nil && c.fault.Drop(ch, abs) {
+			c.droppedFrames.Add(1)
+			c.tr.Skip(ch, abs)
+			continue
+		}
+		f := Frame{Channel: ch, Slot: uint32(abs), Page: c.prog.At(ch, col)}
+		c.frame = appendFrame(c.frame[:0], f)
+		if c.fault != nil && c.fault.Corrupt(ch, abs) {
+			// Flip a page byte after the checksum was computed: the frame
+			// goes out damaged and every receiver's checksum rejects it.
+			c.frame[corruptFlipOffset] ^= corruptFlipMask
+			c.corruptFrames.Add(1)
+		}
+		c.tr.Publish(ch, abs, c.frame)
+	}
+}
+
+// Faults reports the faults injected so far. Safe to call concurrently
+// with CastSlot.
+func (c *Caster) Faults() FaultStats {
+	return FaultStats{
+		StalledSlots:  c.stalledSlots.Load(),
+		DroppedFrames: c.droppedFrames.Load(),
+		CorruptFrames: c.corruptFrames.Load(),
+	}
+}

@@ -1,0 +1,135 @@
+//go:build linux && (amd64 || arm64)
+
+package netcast
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgBatch is how many destinations one sendmmsg call covers: a slot's
+// fan-out to N subscribers costs ceil(N/128) syscalls instead of N.
+const mmsgBatch = 128
+
+// mmsgHdr mirrors the kernel's struct mmsghdr on linux/amd64: a msghdr
+// plus the per-message byte count the kernel writes back, padded to
+// 8-byte alignment.
+type mmsgHdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   [4]byte
+}
+
+// destSys carries each destination precomputed as the raw IPv4 sockaddr
+// sendmmsg wants. all4 is false when any destination is not expressible
+// (non-IPv4), which routes the whole set to the serial fallback.
+type destSys struct {
+	raw  []syscall.RawSockaddrInet4
+	all4 bool
+}
+
+func makeDestSys(addrs []*net.UDPAddr) destSys {
+	s := destSys{raw: make([]syscall.RawSockaddrInet4, len(addrs)), all4: true}
+	for i, a := range addrs {
+		ip4 := a.IP.To4()
+		if ip4 == nil || a.Port < 0 || a.Port > 0xFFFF {
+			s.all4 = false
+			return s
+		}
+		r := &s.raw[i]
+		r.Family = syscall.AF_INET
+		// sin_port is network byte order regardless of host endianness.
+		r.Port = uint16(a.Port)<<8 | uint16(a.Port)>>8
+		copy(r.Addr[:], ip4)
+	}
+	return s
+}
+
+// batcherSys holds the preallocated syscall plumbing for one socket: the
+// raw connection, one iovec shared by every message in a batch (they all
+// carry the same frame), the mmsghdr array reused across calls, and the
+// write callback built once so the steady-state send path allocates
+// nothing.
+type batcherSys struct {
+	rc   syscall.RawConn
+	iov  syscall.Iovec
+	hdrs [mmsgBatch]mmsgHdr
+
+	// writeFn in/out parameters: rc.Write calls a prebuilt closure over
+	// these fields, so no per-batch closure or escaping locals.
+	n       int
+	got     uintptr
+	errno   syscall.Errno
+	writeFn func(fd uintptr) bool
+}
+
+func makeBatcherSys(conn *net.UDPConn) batcherSys {
+	var s batcherSys
+	if conn == nil {
+		return s
+	}
+	if rc, err := conn.SyscallConn(); err == nil {
+		s.rc = rc
+	}
+	return s
+}
+
+// fanout sends frame to every destination via sendmmsg batches, falling
+// back to the serial loop when the raw connection or an IPv4 encoding is
+// unavailable, or when a batch fails outright.
+func (b *Batcher) fanout(frame []byte, ds *DestSet) int {
+	if b.sys.rc == nil || !ds.sys.all4 || len(frame) == 0 {
+		return b.serialFanout(frame, ds, 0)
+	}
+	b.sys.iov.Base = &frame[0]
+	b.sys.iov.SetLen(len(frame))
+	sent := 0
+	for sent < len(ds.sys.raw) {
+		n := len(ds.sys.raw) - sent
+		if n > mmsgBatch {
+			n = mmsgBatch
+		}
+		for i := 0; i < n; i++ {
+			h := &b.sys.hdrs[i].hdr
+			h.Name = (*byte)(unsafe.Pointer(&ds.sys.raw[sent+i]))
+			h.Namelen = syscall.SizeofSockaddrInet4
+			h.Iov = &b.sys.iov
+			h.Iovlen = 1
+		}
+		got, errno := b.sendmmsg(n)
+		if errno != 0 || got <= 0 {
+			// Kernel refused the batch: finish this set one datagram at a
+			// time so a transient batching failure never silences a slot.
+			return sent + b.serialFanout(frame, ds, sent)
+		}
+		sent += got
+	}
+	return sent
+}
+
+// sendmmsg issues one batched send of the first n prepared headers,
+// waiting for writability on EAGAIN like the net package does.
+func (b *Batcher) sendmmsg(n int) (int, syscall.Errno) {
+	s := &b.sys
+	if s.writeFn == nil {
+		s.writeFn = func(fd uintptr) bool {
+			s.got, _, s.errno = syscall.Syscall6(
+				sysSendmmsg,
+				fd,
+				uintptr(unsafe.Pointer(&s.hdrs[0])),
+				uintptr(s.n),
+				0, 0, 0,
+			)
+			if s.errno == syscall.EAGAIN {
+				return false // not writable yet; Write parks until it is
+			}
+			return true
+		}
+	}
+	s.n = n
+	if err := s.rc.Write(s.writeFn); err != nil {
+		return 0, syscall.EBADF
+	}
+	return int(s.got), s.errno
+}

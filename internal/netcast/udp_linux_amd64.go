@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package netcast
+
+// sysSendmmsg is the sendmmsg(2) syscall number on linux/amd64; the
+// frozen syscall package never grew the constant, so it lives here.
+const sysSendmmsg = 307

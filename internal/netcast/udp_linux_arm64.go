@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package netcast
+
+import "syscall"
+
+// sysSendmmsg is the sendmmsg(2) syscall number on linux/arm64.
+const sysSendmmsg = syscall.SYS_SENDMMSG

@@ -1,0 +1,22 @@
+//go:build !(linux && (amd64 || arm64))
+
+package netcast
+
+import "net"
+
+// destSys is empty off Linux: the portable fan-out path sends straight
+// from the *net.UDPAddr list.
+type destSys struct{}
+
+func makeDestSys(addrs []*net.UDPAddr) destSys { return destSys{} }
+
+// batcherSys is empty off Linux.
+type batcherSys struct{}
+
+func makeBatcherSys(conn *net.UDPConn) batcherSys { return batcherSys{} }
+
+// fanout on non-Linux platforms is the serial per-destination loop; the
+// sharded per-channel workers still parallelize across channels.
+func (b *Batcher) fanout(frame []byte, ds *DestSet) int {
+	return b.serialFanout(frame, ds, 0)
+}

@@ -28,6 +28,12 @@ go test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./int
 echo "==> chaos smoke (determinism gate against BENCH_chaos.json)"
 go run ./cmd/airbench -chaos -chaosout BENCH_chaos_new.json -chaosbaseline BENCH_chaos.json
 
+echo "==> netcast smoke (fan-out gate against BENCH_netcast.json)"
+go run ./cmd/airbench -netcast -netcastout BENCH_netcast_new.json -netcastbaseline BENCH_netcast.json
+
+echo "==> loadgen smoke (zero-fault scenarios self-verify against sim.MeasureStream)"
+go run ./cmd/loadgen -clients 1000 -dists uniform,sskew -out ""
+
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
 else
