@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet airvet lint lint-baseline test race fuzz bench chaos netcast loadgen check
+.PHONY: build vet airvet lint lint-baseline test race fuzz bench chaos netcast loadgen optscale check
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
+	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/ptas/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
 
 fuzz:
 	$(GO) test -fuzz='FuzzRearrange$$'         -fuzztime=$(FUZZTIME) ./internal/core/
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzSUSCEquivalence$$'   -fuzztime=$(FUZZTIME) ./internal/susc/
 	$(GO) test -fuzz='FuzzSketchQuantile$$'    -fuzztime=$(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz='FuzzChaosDeterminism$$'  -fuzztime=$(FUZZTIME) ./internal/chaos/
+	$(GO) test -fuzz='FuzzPTASEquivalence$$'   -fuzztime=$(FUZZTIME) ./internal/opt/
 
 # Smoke the hot-path benchmarks and the benchmark-trajectory harness (see
 # docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares; the
@@ -45,6 +46,7 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'Analyze|AppearanceIndex|Measure|Figure5|SUSCBuild|PAMADBuild|OPTSearch' -benchtime=1x -benchmem .
 	$(GO) test -run '^$$' -bench 'Fanout' -benchtime=1x -benchmem ./internal/netcast/
+	$(GO) test -run '^$$' -bench 'ExactDelay|SuffixDelayTotal' -benchtime=1x -benchmem ./internal/delaymodel/
 	$(GO) run ./cmd/airbench -bench -stride 8 -skipopt -requests 300 -dist sskew \
 		-buildout BENCH_build_new.json -buildbaseline BENCH_build.json \
 		$(if $(BASELINE),-baseline $(BASELINE))
@@ -59,6 +61,12 @@ chaos:
 # sharded-vs-serial UDP slot path, gated against BENCH_netcast.json.
 netcast:
 	$(GO) run ./cmd/airbench -netcast -netcastout BENCH_netcast_new.json -netcastbaseline BENCH_netcast.json
+
+# Optimizer-scaling smoke: run the (1+eps) PTAS ladder — live family/ratio
+# gates plus the committed BENCH_optscale.json checksum baseline. See
+# docs/perf.md.
+optscale:
+	$(GO) run ./cmd/airbench -optscale -optscaleout BENCH_optscale_new.json -optscalebaseline BENCH_optscale.json
 
 # Quick scenario sweep through the broadcast transport; fault-free cells
 # self-verify against sim.MeasureStream. Artifacts land under results/.

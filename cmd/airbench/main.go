@@ -14,6 +14,7 @@
 //	airbench -experiment all                       # everything above
 //	airbench -chaos -chaosbaseline BENCH_chaos.json  # chaos determinism gate
 //	airbench -netcast -netcastbaseline BENCH_netcast.json  # fan-out engine gate
+//	airbench -optscale -optscalebaseline BENCH_optscale.json  # PTAS scaling gate
 //
 // -csv switches Figure 5 output to CSV for plotting; -stride k samples
 // every k-th channel count to trade resolution for speed.
@@ -55,6 +56,9 @@ func run(args []string, out io.Writer) error {
 	netcastBench := fs.Bool("netcast", false, "measure the fan-out engine (ring publish, loadgen identities, UDP slot/wire paths) and write a fan-out trajectory report")
 	netcastout := fs.String("netcastout", "BENCH_netcast.json", "report path for -netcast")
 	netcastbaseline := fs.String("netcastbaseline", "", "prior -netcast report to compare against; drift fails the run")
+	optscaleBench := fs.Bool("optscale", false, "measure the (1+eps) PTAS optimizer against branch-and-bound along the scaling ladder and write a trajectory report")
+	optscaleout := fs.String("optscaleout", "BENCH_optscale.json", "report path for -optscale")
+	optscalebaseline := fs.String("optscalebaseline", "", "prior -optscale report to compare against; drift fails the run")
 	benchout := fs.String("benchout", "BENCH_sweep.json", "report path for -bench")
 	baseline := fs.String("baseline", "", "prior -bench report to compare against; regressions fail the run")
 	buildout := fs.String("buildout", "BENCH_build.json", "construction-engine report path for -bench (empty = skip)")
@@ -79,6 +83,14 @@ func run(args []string, out io.Writer) error {
 		return runChaosBench(p, chaosConfig{
 			out:      *chaosout,
 			baseline: *chaosbaseline,
+			slowdown: *maxSlowdown,
+			allocs:   *maxAllocGrowth,
+		}, out)
+	}
+	if *optscaleBench {
+		return runOptscaleBench(optscaleCases(), optscaleConfig{
+			out:      *optscaleout,
+			baseline: *optscalebaseline,
 			slowdown: *maxSlowdown,
 			allocs:   *maxAllocGrowth,
 		}, out)

@@ -10,8 +10,8 @@
 //	airsched -counts 3,5,3 -t1 2 -ratio 2 -channels 3 -alg pamad -grid
 //
 // -channels 0 uses the Theorem 3.1 minimum. -alg auto picks SUSC when the
-// budget suffices and PAMAD otherwise; susc, pamad, mpb and opt force one
-// scheduler.
+// budget suffices and PAMAD otherwise; susc, pamad, mpb, opt and approx
+// force one scheduler (approx is the (1+ε) PTAS, tuned with -eps).
 package main
 
 import (
@@ -50,7 +50,8 @@ func run(args []string, out io.Writer) error {
 	t1 := fs.Int("t1", 4, "smallest expected time")
 	ratio := fs.Int("ratio", 2, "geometric ratio c")
 	channels := fs.Int("channels", 0, "channel budget (0 = Theorem 3.1 minimum)")
-	alg := fs.String("alg", "auto", "scheduler: auto|susc|pamad|mpb|opt")
+	alg := fs.String("alg", "auto", "scheduler: auto|susc|pamad|mpb|opt|approx")
+	eps := fs.Float64("eps", 0, "approximation slack for -alg approx (0 = default)")
 	grid := fs.Bool("grid", false, "print the full program grid")
 	save := fs.String("save", "", "write the program (with its instance) to this JSON file")
 	load := fs.String("load", "", "load a program from this JSON file instead of scheduling")
@@ -83,7 +84,7 @@ func run(args []string, out io.Writer) error {
 		if n == 0 {
 			n = gs.MinChannels()
 		}
-		prog, name, freqs, err = build(gs, n, *alg)
+		prog, name, freqs, err = build(gs, n, *alg, *eps)
 		if err != nil {
 			return err
 		}
@@ -146,7 +147,7 @@ func instance(times, counts, dist string, pages, groups, t1, ratio int) (*core.G
 	}
 }
 
-func build(gs *core.GroupSet, n int, alg string) (*core.Program, string, []int, error) {
+func build(gs *core.GroupSet, n int, alg string, eps float64) (*core.Program, string, []int, error) {
 	switch alg {
 	case "auto":
 		sched, err := tcsa.Build(gs, n)
@@ -183,6 +184,12 @@ func build(gs *core.GroupSet, n int, alg string) (*core.Program, string, []int, 
 			return nil, "", nil, err
 		}
 		return prog, "OPT", res.Frequencies, nil
+	case "approx":
+		prog, res, err := opt.BuildApprox(context.Background(), gs, n, opt.ApproxOptions{Eps: eps})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return prog, "OPT-PTAS", res.Frequencies, nil
 	default:
 		return nil, "", nil, fmt.Errorf("unknown algorithm %q", alg)
 	}

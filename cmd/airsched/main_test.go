@@ -49,7 +49,7 @@ func TestRunTimesRearranged(t *testing.T) {
 }
 
 func TestRunEachAlgorithm(t *testing.T) {
-	for _, alg := range []string{"susc", "pamad", "mpb", "opt"} {
+	for _, alg := range []string{"susc", "pamad", "mpb", "opt", "approx"} {
 		var out strings.Builder
 		args := []string{"-counts", "3,5,3", "-t1", "2", "-alg", alg}
 		if alg != "susc" {

@@ -103,6 +103,29 @@ func ValidFromAnyStart(prog *core.Program) error {
 	return nil
 }
 
+// DivisorChainFamily checks membership in the paper's Section 5 frequency
+// family, independently of the optimizer code paths that generate such
+// vectors: S_h = 1 and every S_i is an integer multiple of S_{i+1}
+// (S_i = prod_{j>=i} r_j with repetition factors r_j >= 1). Every vector
+// the exact search enumerates and the PTAS emits must satisfy it, and any
+// member is buildable by the Algorithm 4 placement.
+func DivisorChainFamily(gs *core.GroupSet, s delaymodel.Frequencies) error {
+	if err := s.Validate(gs); err != nil {
+		return err
+	}
+	h := gs.Len()
+	if s[h-1] != 1 {
+		return fmt.Errorf("%w: S_%d = %d, want 1 (chain anchor)", core.ErrInvalidGroupSet, h, s[h-1])
+	}
+	for i := h - 2; i >= 0; i-- {
+		if s[i]%s[i+1] != 0 {
+			return fmt.Errorf("%w: S_%d = %d not a multiple of S_%d = %d",
+				core.ErrInvalidGroupSet, i+1, s[i], i+2, s[i+1])
+		}
+	}
+	return nil
+}
+
 // ChannelLaw checks Theorem 3.1 as a theorem, not a formula: a program that
 // is valid from every start instant must use at least MinChannelLaw
 // channels. It is vacuously satisfied by invalid programs (they prove

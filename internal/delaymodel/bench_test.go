@@ -1,0 +1,71 @@
+package delaymodel
+
+import (
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// benchInstance is the paper's default uniform shape (h=8, t=4·2^i, 125
+// pages per group) with a mid-chain divisor family — the exact vector shape
+// both optimizers evaluate millions of times per search.
+func benchInstance(tb testing.TB) (*core.GroupSet, Frequencies, int) {
+	tb.Helper()
+	counts := make([]int, 8)
+	for i := range counts {
+		counts[i] = 125
+	}
+	gs, err := core.Geometric(4, 2, counts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := Frequencies{16, 16, 8, 4, 4, 2, 1, 1}
+	if err := s.Validate(gs); err != nil {
+		tb.Fatal(err)
+	}
+	return gs, s, core.CeilDiv(gs.MinChannels(), 5)
+}
+
+func BenchmarkExactDelay(b *testing.B) {
+	gs, s, n := benchInstance(b)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = ExactDelay(gs, s, n)
+	}
+	_ = sink
+}
+
+func BenchmarkSuffixDelayTotal(b *testing.B) {
+	gs, s, n := benchInstance(b)
+	total := s.TotalSlots(gs)
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = SuffixDelayTotal(gs, s, 4, n, total)
+	}
+	_ = sink
+}
+
+// The optimizers' inner loops call these evaluators once per candidate (or
+// per branch-and-bound node); any allocation there multiplies by millions on
+// frontier instances. Lock the zero-allocation property in as a test.
+func TestDelayEvaluatorsAllocationFree(t *testing.T) {
+	gs, s, n := benchInstance(t)
+	total := s.TotalSlots(gs)
+	if got := testing.AllocsPerRun(100, func() {
+		ExactDelay(gs, s, n)
+	}); got != 0 {
+		t.Errorf("ExactDelay allocates %.0f times per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		SuffixDelayTotal(gs, s, 4, n, total)
+	}); got != 0 {
+		t.Errorf("SuffixDelayTotal allocates %.0f times per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		GroupDelay(gs, s, n)
+	}); got != 0 {
+		t.Errorf("GroupDelay allocates %.0f times per call, want 0", got)
+	}
+}

@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"context"
+	"fmt"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+	"tcsa/internal/pamad"
+	"tcsa/internal/ptas"
+)
+
+// ApproxOptions tunes the approximate frequency search.
+type ApproxOptions struct {
+	// Eps is the approximation slack ε > 0: Approx targets an analytic
+	// delay within (1+ε) of the best family member Search would return.
+	// 0 means ptas.DefaultEps.
+	Eps float64
+	// MaxFactor caps each repetition factor exactly like Options.MaxFactor,
+	// so Approx and Search explore the same family for a given value.
+	MaxFactor int
+	// Parallelism bounds concurrent scoring workers; 0 means GOMAXPROCS.
+	// Unlike Search's Evaluated, Approx's result is bit-identical at any
+	// parallelism including the evaluation count.
+	Parallelism int
+	// MaxStates caps the DP frontier per stage (memory safety valve);
+	// 0 means ptas.DefaultMaxStates.
+	MaxStates int
+}
+
+// Approx is the (1+ε) counterpart of Search for the large-h frontier where
+// branch-and-bound is infeasible: it runs the internal/ptas grid dynamic
+// program over the same divisor-chain family, seeded with the same clamped
+// PAMAD and sufficient-frequency chains Search warms its incumbent with.
+// On instances whose family is small enough for Search to finish, the
+// engine scans the family outright and the two return identical vectors;
+// beyond that the grid keeps only O(poly(1/ε)·polylog) structurally
+// distinct chains per stage. The result is always a family member, so
+// Build-style placement always accepts it.
+func Approx(ctx context.Context, gs *core.GroupSet, nReal int, opts ApproxOptions) (*Result, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if nReal < 1 {
+		return nil, fmt.Errorf("%w: %d channels", core.ErrInsufficientChannels, nReal)
+	}
+	if gs.Len() == 1 {
+		return &Result{Frequencies: delaymodel.Frequencies{1}, Delay: delaymodel.GroupDelay(gs, delaymodel.Frequencies{1}, nReal), Evaluated: 1}, nil
+	}
+	caps := factorCaps(gs, opts.MaxFactor)
+	res, err := ptas.Optimize(ctx, gs, nReal, ptas.Options{
+		Eps:         opts.Eps,
+		Caps:        caps,
+		Parallelism: opts.Parallelism,
+		MaxStates:   opts.MaxStates,
+		Seeds:       seedVectors(gs, nReal, caps),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Frequencies: res.Frequencies, Delay: res.Delay, Evaluated: res.Evaluated}, nil
+}
+
+// BuildApprox runs Approx and materialises the winning frequencies with the
+// same Algorithm 4 placement as Build, so the approximate comparator's
+// programs are placement-identical to the exact ones.
+func BuildApprox(ctx context.Context, gs *core.GroupSet, nReal int, opts ApproxOptions) (*core.Program, *Result, error) {
+	res, err := Approx(ctx, gs, nReal, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, _, err := pamad.PlaceEvenly(gs, res.Frequencies, nReal)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, res, nil
+}

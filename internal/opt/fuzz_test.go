@@ -1,0 +1,61 @@
+package opt
+
+import (
+	"context"
+	"testing"
+
+	"tcsa/internal/conformance"
+	"tcsa/internal/core"
+)
+
+// FuzzPTASEquivalence differentially fuzzes the approximate optimizer
+// against branch-and-bound across random valid group sets, channel budgets
+// and slack settings: the PTAS result must always be a divisor-chain family
+// member with analytic delay within (1+ε) of the exact optimum. The bounded
+// shapes keep every family under the engine's exact-scan limit, so on this
+// corpus the bound is tight — any gap at all is a real divergence between
+// the two engines, not approximation slack.
+func FuzzPTASEquivalence(f *testing.F) {
+	f.Add(2, 2, uint8(3), uint8(5), uint8(3), uint8(1), uint8(0)) // Figure 2 at its knee
+	f.Add(4, 2, uint8(125), uint8(125), uint8(125), uint8(8), uint8(1))
+	f.Add(1, 3, uint8(1), uint8(0), uint8(9), uint8(1), uint8(2))
+	f.Add(64, 8, uint8(255), uint8(255), uint8(255), uint8(30), uint8(0))
+	f.Fuzz(func(t *testing.T, t1, c int, p1, p2, p3, chans, epsSel uint8) {
+		if t1 > 64 || c > 8 || chans == 0 {
+			return
+		}
+		var counts []int
+		for _, p := range []uint8{p1, p2, p3} {
+			if p > 0 {
+				counts = append(counts, int(p))
+			}
+		}
+		if len(counts) == 0 {
+			return
+		}
+		gs, err := core.Geometric(t1, c, counts)
+		if err != nil {
+			return
+		}
+		nReal := int(chans)
+		eps := []float64{0.05, 0.1, 0.25}[int(epsSel)%3]
+		ctx := context.Background()
+		sres, err := Search(ctx, gs, nReal, Options{})
+		if err != nil {
+			t.Fatalf("Search(%v, %d): %v", gs, nReal, err)
+		}
+		ares, err := Approx(ctx, gs, nReal, ApproxOptions{Eps: eps, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("Approx(%v, %d, eps=%v): %v", gs, nReal, eps, err)
+		}
+		if gs.Len() > 1 {
+			if err := conformance.DivisorChainFamily(gs, ares.Frequencies); err != nil {
+				t.Fatalf("instance %v N=%d: %v", gs, nReal, err)
+			}
+		}
+		if ares.Delay > sres.Delay*(1+eps)+1e-9 {
+			t.Fatalf("instance %v N=%d eps=%v: approx delay %v > (1+ε)·opt %v (S=%v vs %v)",
+				gs, nReal, eps, ares.Delay, sres.Delay, ares.Frequencies, sres.Frequencies)
+		}
+	})
+}

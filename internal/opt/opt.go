@@ -469,14 +469,35 @@ func Search(ctx context.Context, gs *core.GroupSet, nReal int, opts Options) (*R
 	return best, nil
 }
 
-// seedVectors returns cheap candidate vectors inside the searched family.
+// seedVectors returns cheap candidate vectors inside the searched family,
+// deduplicated: on small instances PAMAD's greedy chain and the clamped
+// sufficient-frequency chain often coincide, and scoring the same vector
+// twice would only inflate Evaluated.
 func seedVectors(gs *core.GroupSet, nReal int, caps []int) []delaymodel.Frequencies {
 	var seeds []delaymodel.Frequencies
 	if ps, _, err := pamad.Frequencies(gs, nReal); err == nil {
 		seeds = append(seeds, clampToFamily(ps, caps))
 	}
-	seeds = append(seeds, clampToFamily(delaymodel.SufficientFrequencies(gs), caps))
-	return seeds
+	suf := clampToFamily(delaymodel.SufficientFrequencies(gs), caps)
+	for _, s := range seeds {
+		if equalFrequencies(s, suf) {
+			return seeds
+		}
+	}
+	return append(seeds, suf)
+}
+
+// equalFrequencies reports element-wise equality of two same-family vectors.
+func equalFrequencies(a, b delaymodel.Frequencies) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // clampToFamily projects a divisor-chain vector onto the searched family:

@@ -1,0 +1,492 @@
+// Package ptas implements an ε-parameterized approximate frequency
+// optimizer for the divisor-chain broadcast family of "Time-Constrained
+// Service on Air" (ICDCS 2005), in the style of Kenyon–Schabanel–Young's
+// polynomial-time approximation scheme for data broadcast.
+//
+// The exact OPT comparator (internal/opt) enumerates the full Cartesian
+// product of repetition factors r_1..r_{h-1}; even branch-and-bound stays
+// exponential in the group count h. This package trades exactness for a
+// tunable slack ε: candidate per-group frequencies are quantized onto a
+// geometric (1+δ) grid with δ derived from ε (see Grid), and a suffix-first
+// dynamic program keeps only one representative chain per structurally
+// distinct (frequency bucket, transmission-total bucket) signature per
+// stage — O(polylog/δ²) states instead of ∏caps leaves. Representatives
+// are ranked by the same admissible completion lower bound the exact
+// branch-and-bound prunes with (delaymodel.SuffixDelayTotal at the minimum
+// reachable total), surviving leaves are re-scored with the exact
+// evaluator, and the winner is chosen under the exact search's
+// deterministic tie-break chain.
+//
+// Two properties keep the result honest:
+//
+//   - Every candidate the DP emits is a divisor-chain family member by
+//     construction (states multiply repetition factors, never frequencies),
+//     and external seed vectors are snapped back into the family before
+//     scoring, so the result is always buildable by the same Algorithm 4
+//     placement the exact search feeds.
+//   - Instances whose family has at most ExactLimit(ε) members are scanned
+//     outright with no state merging — an approximation scheme may always
+//     solve small instances exactly — so on everything the exact search can
+//     finish the two return identical vectors, and the grid machinery only
+//     engages on the large-h frontier it exists for.
+//
+// Work is sharded across workers only in the final exact-scoring pass,
+// over an immutable, lexicographically deduplicated candidate list, and
+// candidates merge under a total order; the result (and Evaluated) is
+// therefore bit-identical at any parallelism.
+//
+//lint:deterministic bit-identical replay contract: no wall clock, no global RNG, no map-order folds
+package ptas
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+// DefaultEps is the approximation slack used when Options.Eps is zero.
+const DefaultEps = 0.1
+
+// DefaultMaxStates bounds the DP frontier per stage when Options.MaxStates
+// is zero. It is a memory safety valve, not part of the ε-grid accounting:
+// when it binds, Result.Truncated reports so.
+const DefaultMaxStates = 1 << 16
+
+// maxChainValue caps any single chain frequency. Chains beyond it cannot
+// win — the zero-delay sufficient vector already closes every gate at far
+// smaller frequencies — and the cap keeps F = Σ S_i·P_i safely inside
+// int64 on frontier instances.
+const maxChainValue = 1 << 31
+
+// Options tunes the approximate search.
+type Options struct {
+	// Eps is the approximation slack ε > 0: the search targets an analytic
+	// delay within (1+ε) of the best divisor-chain family member. 0 means
+	// DefaultEps.
+	Eps float64
+	// Caps bounds each repetition factor r_i, exactly like the exact
+	// search's factor caps; len(Caps) must be h-1. Nil derives the same
+	// automatic caps the exact search uses (twice the group-time ratio, at
+	// least 4), so the two explore the same family by default.
+	Caps []int
+	// Parallelism bounds the exact-scoring workers; 0 means GOMAXPROCS.
+	// The result is bit-identical at any value.
+	Parallelism int
+	// MaxStates caps the DP frontier per stage; 0 means DefaultMaxStates.
+	MaxStates int
+	// Seeds are extra candidate vectors scored alongside the DP leaves
+	// (e.g. PAMAD's greedy chain). Each is snapped into the searched family
+	// first; wrong-length seeds are ignored.
+	Seeds []delaymodel.Frequencies
+}
+
+// Result is the best frequency assignment the approximate search found,
+// plus the diagnostics the benchmark trajectory records.
+type Result struct {
+	Frequencies delaymodel.Frequencies
+	Delay       float64 // analytic D' of Frequencies
+	Evaluated   int64   // candidate vectors scored exactly (deterministic at any parallelism)
+	Delta       float64 // derived grid ratio minus one: buckets are powers of 1+Delta
+	States      int64   // DP states expanded across all stages
+	Exact       bool    // family ≤ ExactLimit(ε): full scan, no merging, result is the family optimum
+	Truncated   bool    // MaxStates bound at least one stage (approximation not purely grid-driven)
+}
+
+// Grid derives the quantization ratio δ from ε for an h-group instance:
+// the largest δ with (1+δ)^(2h) ≤ 1+ε, so one (1+δ) rounding per chain
+// position on both the frequency and the total axis compounds to at most
+// (1+ε) across the whole vector.
+func Grid(eps float64, h int) float64 {
+	if h < 1 {
+		h = 1
+	}
+	return math.Pow(1+eps, 1/float64(2*h)) - 1
+}
+
+// ExactLimit is the family size up to which the search scans every member
+// instead of merging grid states. Scaling with 1/ε² keeps the exact regime
+// aligned with the grid's resolution: asking for a tighter guarantee widens
+// the range solved outright.
+func ExactLimit(eps float64) float64 {
+	lim := 16 / (eps * eps)
+	if lim < 4096 {
+		return 4096
+	}
+	return lim
+}
+
+// state is one partial suffix chain during the DP: s[idx..h-1] fixed,
+// f = Σ_{j≥idx} s_j·P_j.
+type state struct {
+	s     delaymodel.Frequencies
+	f     int
+	bound float64 // admissible completion lower bound at this stage
+}
+
+// Optimize runs the approximate search. Like the exact search it returns
+// the context error when cancelled mid-run: a truncated optimization is
+// never passed off as a complete one.
+func Optimize(ctx context.Context, gs *core.GroupSet, nReal int, opts Options) (*Result, error) {
+	if gs == nil {
+		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
+	}
+	if nReal < 1 {
+		return nil, fmt.Errorf("%w: %d channels", core.ErrInsufficientChannels, nReal)
+	}
+	eps := opts.Eps
+	if eps == 0 {
+		eps = DefaultEps
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("ptas: invalid eps %v", opts.Eps)
+	}
+	h := gs.Len()
+	if h == 1 {
+		one := delaymodel.Frequencies{1}
+		return &Result{
+			Frequencies: one,
+			Delay:       delaymodel.GroupDelay(gs, one, nReal),
+			Evaluated:   1,
+			Delta:       Grid(eps, 1),
+			Exact:       true,
+		}, nil
+	}
+	caps := opts.Caps
+	if caps == nil {
+		caps = defaultCaps(gs)
+	}
+	if len(caps) != h-1 {
+		return nil, fmt.Errorf("ptas: %d factor caps for %d groups", len(caps), h)
+	}
+	for _, c := range caps {
+		if c < 1 {
+			return nil, fmt.Errorf("ptas: factor cap %d < 1", c)
+		}
+	}
+	family := FamilySize(gs, caps)
+
+	res := &Result{
+		Delta: Grid(eps, h),
+		Exact: family <= ExactLimit(eps),
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+
+	counts := make([]int, h)
+	pagesBefore := make([]int, h)
+	sum := 0
+	for i := 0; i < h; i++ {
+		counts[i] = gs.Group(i).Count
+		pagesBefore[i] = sum
+		sum += counts[i]
+	}
+
+	// Suffix-first DP: stage idx extends every kept chain with a factor for
+	// position idx-1, then (approximate mode only) collapses the frontier
+	// onto the (frequency bucket, total bucket) grid.
+	root := state{s: make(delaymodel.Frequencies, h), f: counts[h-1]}
+	root.s[h-1] = 1
+	states := []state{root}
+	for idx := h - 1; idx >= 1; idx-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		children := make([]state, 0, len(states)*caps[idx-1])
+		for _, st := range states {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res.States++
+			for r := 1; r <= caps[idx-1]; r++ {
+				sNew := r * st.s[idx]
+				if sNew > maxChainValue {
+					break // larger factors only grow further
+				}
+				child := state{s: append(delaymodel.Frequencies(nil), st.s...), f: st.f + sNew*counts[idx-1]}
+				child.s[idx-1] = sNew
+				children = append(children, child)
+			}
+		}
+		if !res.Exact && idx > 1 {
+			var truncated bool
+			children, truncated = compress(gs, children, idx-1, nReal, pagesBefore, res.Delta, maxStates)
+			res.Truncated = res.Truncated || truncated
+		}
+		states = children
+	}
+
+	cands := gatherCandidates(gs, states, caps, opts.Seeds)
+	best, evaluated, err := scoreCandidates(ctx, gs, nReal, cands, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	res.Frequencies = best.s
+	res.Delay = best.delay
+	res.Evaluated = evaluated
+	return res, nil
+}
+
+// compress collapses a DP frontier onto the (1+δ) grid at stage lvl: states
+// sharing both the frequency bucket of s[lvl] and the total bucket of F
+// merge into the representative with the smallest admissible completion
+// lower bound (ties: smaller F, then lexicographically smaller suffix).
+// Sorting makes the selection independent of generation order, and a final
+// bound-ranked cut enforces maxStates; truncated reports whether that cut
+// dropped anything beyond the grid's own merging.
+func compress(gs *core.GroupSet, children []state, lvl, nReal int, pagesBefore []int, delta float64, maxStates int) ([]state, bool) {
+	logG := math.Log1p(delta)
+	type keyed struct {
+		state
+		kS, kF int
+	}
+	ks := make([]keyed, len(children))
+	for i, st := range children {
+		// fmin: every completion multiplies s[lvl] by factors ≥ 1, so each
+		// unassigned group reaches frequency ≥ s[lvl] and any leaf's total
+		// is at least this — the exact branch-and-bound's admissible bound.
+		fmin := st.f + st.s[lvl]*pagesBefore[lvl]
+		st.bound = delaymodel.SuffixDelayTotal(gs, st.s, lvl, nReal, fmin)
+		ks[i] = keyed{
+			state: st,
+			kS:    int(math.Log(float64(st.s[lvl])) / logG),
+			kF:    int(math.Log(float64(st.f)) / logG),
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		a, b := &ks[i], &ks[j]
+		if a.kS != b.kS {
+			return a.kS < b.kS
+		}
+		if a.kF != b.kF {
+			return a.kF < b.kF
+		}
+		if a.bound != b.bound {
+			return a.bound < b.bound
+		}
+		if a.f != b.f {
+			return a.f < b.f
+		}
+		return lexLess(a.s, b.s, lvl)
+	})
+	kept := ks[:0]
+	for i := range ks {
+		if last := len(kept) - 1; last >= 0 && ks[i].kS == kept[last].kS && ks[i].kF == kept[last].kF {
+			continue
+		}
+		kept = append(kept, ks[i])
+	}
+	truncated := false
+	if len(kept) > maxStates {
+		sort.Slice(kept, func(i, j int) bool {
+			a, b := &kept[i], &kept[j]
+			if a.bound != b.bound {
+				return a.bound < b.bound
+			}
+			if a.f != b.f {
+				return a.f < b.f
+			}
+			return lexLess(a.s, b.s, lvl)
+		})
+		kept = kept[:maxStates]
+		truncated = true
+	}
+	out := make([]state, len(kept))
+	for i := range kept {
+		out[i] = kept[i].state
+	}
+	return out, truncated
+}
+
+// gatherCandidates assembles the final exact-scoring list: every DP leaf,
+// the sufficient-frequency chain (which covers the zero-delay regime: if
+// any vector reaches D' = 0 at this channel budget, this one does), and the
+// caller's seeds — the last two snapped into the family — sorted and
+// deduplicated so Evaluated is deterministic and no vector is scored twice.
+func gatherCandidates(gs *core.GroupSet, leaves []state, caps []int, seeds []delaymodel.Frequencies) []delaymodel.Frequencies {
+	h := gs.Len()
+	cands := make([]delaymodel.Frequencies, 0, len(leaves)+len(seeds)+1)
+	for _, st := range leaves {
+		cands = append(cands, st.s)
+	}
+	cands = append(cands, SnapToFamily(delaymodel.SufficientFrequencies(gs), caps))
+	for _, seed := range seeds {
+		if len(seed) == h {
+			cands = append(cands, SnapToFamily(seed, caps))
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return lexLess(cands[i], cands[j], 0) })
+	uniq := cands[:1]
+	for _, c := range cands[1:] {
+		if lexLess(uniq[len(uniq)-1], c, 0) {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+// scored is a candidate with the exact keys of the tie-break chain.
+type scored struct {
+	s     delaymodel.Frequencies
+	delay float64
+	f     int
+}
+
+// better reports whether a beats b under the exact search's deterministic
+// order: lower delay, then fewer total transmissions, then lexicographically
+// smaller frequencies. It is a strict total order over distinct vectors, so
+// the minimum is unique and worker interleaving cannot change it.
+func better(a, b *scored) bool {
+	if a.delay != b.delay {
+		return a.delay < b.delay
+	}
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return lexLess(a.s, b.s, 0)
+}
+
+// scoreCandidates evaluates every candidate exactly, sharding contiguous
+// chunks over workers through an atomic cursor. Each worker folds its
+// chunks into a local best; the final fold scans workers in index order,
+// but because better is a total order the merged minimum is the same
+// regardless of which worker scored what.
+func scoreCandidates(ctx context.Context, gs *core.GroupSet, nReal int, cands []delaymodel.Frequencies, parallelism int) (*scored, int64, error) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	const chunk = 256
+	var (
+		next      atomic.Int64
+		cancelled atomic.Bool
+		wg        sync.WaitGroup
+	)
+	bests := make([]*scored, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var best *scored
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(cands) {
+					break
+				}
+				hi := lo + chunk
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				for _, s := range cands[lo:hi] {
+					if ctx.Err() != nil {
+						cancelled.Store(true)
+						return
+					}
+					cand := &scored{s: s, delay: delaymodel.GroupDelay(gs, s, nReal), f: s.TotalSlots(gs)}
+					if best == nil || better(cand, best) {
+						best = cand
+					}
+				}
+			}
+			bests[w] = best
+		}(w)
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, context.Canceled
+	}
+	var best *scored
+	for _, b := range bests {
+		if b != nil && (best == nil || better(b, best)) {
+			best = b
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("ptas: no candidate evaluated")
+	}
+	return best, int64(len(cands)), nil
+}
+
+// SnapToFamily projects a frequency vector onto the divisor-chain family
+// under the given factor caps: each repetition factor r_i = S_i/S_{i+1} is
+// clamped to [1, caps[i]] and the chain rebuilt from S_h = 1 upward —
+// the same rounding the exact search applies to its incumbent seeds, so a
+// snapped vector is always a member the family placement can build.
+func SnapToFamily(s delaymodel.Frequencies, caps []int) delaymodel.Frequencies {
+	h := len(s)
+	out := make(delaymodel.Frequencies, h)
+	out[h-1] = 1
+	for i := h - 2; i >= 0; i-- {
+		r := 1
+		if s[i+1] > 0 {
+			r = s[i] / s[i+1]
+		}
+		if r < 1 {
+			r = 1
+		}
+		if i < len(caps) && r > caps[i] {
+			r = caps[i]
+		}
+		out[i] = r * out[i+1]
+	}
+	return out
+}
+
+// FamilySize returns the number of divisor-chain members under the given
+// factor caps — the leaf count ∏ caps[i] an exact enumeration must visit.
+// Nil caps means the automatic caps Optimize would derive. The count is a
+// float64 because frontier instances overflow int64 (h=20 at cap 4 is
+// already ~2.7e11); callers use it as the Search-infeasibility witness, not
+// for exact arithmetic.
+func FamilySize(gs *core.GroupSet, caps []int) float64 {
+	if caps == nil {
+		caps = defaultCaps(gs)
+	}
+	family := 1.0
+	for _, c := range caps {
+		family *= float64(c)
+	}
+	return family
+}
+
+// defaultCaps mirrors the exact search's automatic factor caps (twice the
+// group-time ratio, at least 4) so a standalone Optimize explores the same
+// family; internal/opt passes its caps explicitly and keeps the two engines
+// aligned even if one formula changes.
+func defaultCaps(gs *core.GroupSet) []int {
+	h := gs.Len()
+	caps := make([]int, h-1)
+	for i := range caps {
+		c := 2 * (gs.Group(i+1).Time / gs.Group(i).Time)
+		if c < 4 {
+			c = 4
+		}
+		caps[i] = c
+	}
+	return caps
+}
+
+// lexLess compares two frequency vectors lexicographically from position
+// lo onward.
+func lexLess(a, b delaymodel.Frequencies, lo int) bool {
+	for i := lo; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package ptas
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tcsa/internal/conformance"
+	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
+)
+
+func fig2() *core.GroupSet {
+	return core.MustGroupSet([]core.Group{{Time: 2, Count: 3}, {Time: 4, Count: 5}, {Time: 8, Count: 3}})
+}
+
+func TestGridDerivation(t *testing.T) {
+	// (1+δ)^(2h) must not exceed 1+ε: one rounding per chain position on
+	// each of the two grid axes compounds to at most the requested slack.
+	for _, eps := range []float64{0.01, 0.05, 0.1, 0.25, 1.0} {
+		for _, h := range []int{1, 2, 8, 16, 32} {
+			d := Grid(eps, h)
+			if d <= 0 {
+				t.Fatalf("Grid(%v, %d) = %v, want > 0", eps, h, d)
+			}
+			if got := math.Pow(1+d, float64(2*h)); got > 1+eps+1e-12 {
+				t.Errorf("Grid(%v, %d): (1+δ)^(2h) = %v > 1+ε", eps, h, got)
+			}
+		}
+	}
+	if Grid(0.1, 16) >= Grid(0.1, 8) {
+		t.Error("grid not finer for larger h")
+	}
+	if Grid(0.05, 8) >= Grid(0.1, 8) {
+		t.Error("grid not finer for smaller eps")
+	}
+}
+
+func TestExactLimitScaling(t *testing.T) {
+	if ExactLimit(0.1) != 4096 {
+		t.Errorf("ExactLimit(0.1) = %v, want the 4096 floor", ExactLimit(0.1))
+	}
+	if ExactLimit(0.01) <= ExactLimit(0.05) {
+		t.Error("tighter eps must widen the exact regime")
+	}
+}
+
+func TestOptimizeFigure2(t *testing.T) {
+	res, err := Optimize(context.Background(), fig2(), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Error("Figure 2 family should be scanned exactly")
+	}
+	// PAMAD finds S=(4,2,1) with D'=1/24 here and the family optimum
+	// matches; the exact-path scan must find it.
+	if res.Delay > 1.0/24.0+1e-12 {
+		t.Errorf("delay %v worse than the known optimum 1/24 (S=%v)", res.Delay, res.Frequencies)
+	}
+	if err := conformance.DivisorChainFamily(fig2(), res.Frequencies); err != nil {
+		t.Error(err)
+	}
+	if res.Evaluated == 0 || res.States == 0 {
+		t.Errorf("diagnostics not recorded: %+v", res)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Optimize(ctx, nil, 3, Options{}); err == nil {
+		t.Error("nil group set accepted")
+	}
+	if _, err := Optimize(ctx, fig2(), 0, Options{}); err == nil {
+		t.Error("0 channels accepted")
+	}
+	if _, err := Optimize(ctx, fig2(), 3, Options{Eps: -0.5}); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, err := Optimize(ctx, fig2(), 3, Options{Eps: math.NaN()}); err == nil {
+		t.Error("NaN eps accepted")
+	}
+	if _, err := Optimize(ctx, fig2(), 3, Options{Caps: []int{4}}); err == nil {
+		t.Error("wrong-length caps accepted")
+	}
+	if _, err := Optimize(ctx, fig2(), 3, Options{Caps: []int{4, 0}}); err == nil {
+		t.Error("zero cap accepted")
+	}
+}
+
+func TestOptimizeSingleGroup(t *testing.T) {
+	gs := core.MustGroupSet([]core.Group{{Time: 4, Count: 10}})
+	res, err := Optimize(context.Background(), gs, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frequencies) != 1 || res.Frequencies[0] != 1 {
+		t.Errorf("Frequencies = %v, want [1]", res.Frequencies)
+	}
+	if !res.Exact {
+		t.Error("single group must be exact")
+	}
+}
+
+// TestOptimizeZeroDelayCoverage: whenever the channel budget admits a
+// zero-delay vector at all, the snapped sufficient-frequency candidate
+// guarantees Optimize returns one — the regime where a (1+ε) multiplicative
+// bound demands exact optimality.
+func TestOptimizeZeroDelayCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		gs := randomGroupSet(rng, 4)
+		nReal := gs.MinChannels() + rng.Intn(3)
+		res, err := Optimize(ctx, gs, nReal, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delay != 0 {
+			t.Errorf("instance %v N=%d >= minimum %d: delay %v, want 0",
+				gs, nReal, gs.MinChannels(), res.Delay)
+		}
+	}
+}
+
+// TestOptimizeParallelismBitIdentical: the scoring shard layout must not
+// leak into the result — frequencies, delay and Evaluated are pinned across
+// worker counts.
+func TestOptimizeParallelismBitIdentical(t *testing.T) {
+	gs := paperUniform(25, 8)
+	ctx := context.Background()
+	base, err := Optimize(ctx, gs, 10, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8, 32} {
+		res, err := Optimize(ctx, gs, 10, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if res.Delay != base.Delay || res.Evaluated != base.Evaluated {
+			t.Errorf("parallelism %d: (delay, evaluated) = (%v, %d), want (%v, %d)",
+				par, res.Delay, res.Evaluated, base.Delay, base.Evaluated)
+		}
+		for i := range base.Frequencies {
+			if res.Frequencies[i] != base.Frequencies[i] {
+				t.Errorf("parallelism %d: frequencies %v != %v", par, res.Frequencies, base.Frequencies)
+				break
+			}
+		}
+	}
+}
+
+// TestOptimizeFamilyValidity: every returned vector is a divisor-chain
+// member, on exact and approximate paths alike.
+func TestOptimizeFamilyValidity(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		gs := randomGroupSet(rng, 4)
+		nReal := 1 + rng.Intn(gs.MinChannels())
+		res, err := Optimize(ctx, gs, nReal, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conformance.DivisorChainFamily(gs, res.Frequencies); err != nil {
+			t.Fatalf("instance %v N=%d: %v (S=%v)", gs, nReal, err, res.Frequencies)
+		}
+	}
+	// Approximate path: a wide instance whose family exceeds the exact
+	// limit, at several slacks.
+	gs := paperUniform(20, 10)
+	for _, eps := range []float64{0.05, 0.1, 0.5} {
+		res, err := Optimize(ctx, gs, 12, Options{Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exact {
+			t.Fatalf("eps=%v: h=10 family unexpectedly within the exact limit", eps)
+		}
+		if err := conformance.DivisorChainFamily(gs, res.Frequencies); err != nil {
+			t.Fatalf("eps=%v: %v (S=%v)", eps, err, res.Frequencies)
+		}
+	}
+}
+
+// TestOptimizeBeamTruncation: a tiny MaxStates must engage the safety
+// valve, be reported, and still yield a valid family member.
+func TestOptimizeBeamTruncation(t *testing.T) {
+	gs := paperUniform(10, 10)
+	res, err := Optimize(context.Background(), gs, 12, Options{Eps: 0.1, MaxStates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("MaxStates=8 on an h=10 instance did not report truncation")
+	}
+	if err := conformance.DivisorChainFamily(gs, res.Frequencies); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Optimize(ctx, fig2(), 3, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("pre-cancelled optimize returned a result")
+	}
+}
+
+func TestSnapToFamily(t *testing.T) {
+	caps := []int{4, 4}
+	for _, tc := range []struct {
+		in, want delaymodel.Frequencies
+	}{
+		{delaymodel.Frequencies{8, 2, 1}, delaymodel.Frequencies{8, 2, 1}},  // already a member
+		{delaymodel.Frequencies{9, 2, 1}, delaymodel.Frequencies{8, 2, 1}},  // ratio rounds down
+		{delaymodel.Frequencies{40, 2, 1}, delaymodel.Frequencies{8, 2, 1}}, // ratio clamps to cap
+		{delaymodel.Frequencies{1, 1, 1}, delaymodel.Frequencies{1, 1, 1}},  // floors at 1
+		{delaymodel.Frequencies{0, 0, 0}, delaymodel.Frequencies{1, 1, 1}},  // degenerate input
+	} {
+		got := SnapToFamily(tc.in, caps)
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("SnapToFamily(%v) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// paperUniform is the paper's uniform workload shape widened to h groups:
+// t=4·2^i, per pages each.
+func paperUniform(per, h int) *core.GroupSet {
+	groups := make([]core.Group, h)
+	tt := 4
+	for i := range groups {
+		groups[i] = core.Group{Time: tt, Count: per}
+		tt *= 2
+	}
+	return core.MustGroupSet(groups)
+}
+
+func randomGroupSet(rng *rand.Rand, maxH int) *core.GroupSet {
+	h := 2 + rng.Intn(maxH-1)
+	groups := make([]core.Group, h)
+	tt := 2 + rng.Intn(3)
+	for i := 0; i < h; i++ {
+		groups[i] = core.Group{Time: tt, Count: 1 + rng.Intn(25)}
+		tt *= 2
+	}
+	return core.MustGroupSet(groups)
+}

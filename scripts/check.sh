@@ -23,7 +23,7 @@ echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/netcast/... ./internal/opt/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
+go test -race ./internal/netcast/... ./internal/opt/... ./internal/ptas/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
 
 echo "==> chaos smoke (determinism gate against BENCH_chaos.json)"
 go run ./cmd/airbench -chaos -chaosout BENCH_chaos_new.json -chaosbaseline BENCH_chaos.json
@@ -33,6 +33,9 @@ go run ./cmd/airbench -netcast -netcastout BENCH_netcast_new.json -netcastbaseli
 
 echo "==> loadgen smoke (zero-fault scenarios self-verify against sim.MeasureStream)"
 go run ./cmd/loadgen -clients 1000 -dists uniform,sskew -out ""
+
+echo "==> optscale smoke (PTAS scaling gate against BENCH_optscale.json)"
+go run ./cmd/airbench -optscale -optscaleout BENCH_optscale_new.json -optscalebaseline BENCH_optscale.json
 
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
@@ -47,6 +50,7 @@ else
     go test -fuzz=FuzzSUSCEquivalence'$'    -fuzztime="$FUZZTIME" ./internal/susc/
     go test -fuzz=FuzzSketchQuantile'$'     -fuzztime="$FUZZTIME" ./internal/stats/
     go test -fuzz=FuzzChaosDeterminism'$'   -fuzztime="$FUZZTIME" ./internal/chaos/
+    go test -fuzz=FuzzPTASEquivalence'$'    -fuzztime="$FUZZTIME" ./internal/opt/
 fi
 
 echo "==> all checks passed"
