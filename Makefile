@@ -3,7 +3,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet airvet lint lint-baseline test race fuzz bench chaos netcast loadgen optscale check
+.PHONY: build vet airvet lint lint-baseline test race fuzz bench chaos netcast loadgen optscale replan check
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/ptas/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
+	$(GO) test -race ./internal/netcast/... ./internal/opt/... ./internal/ptas/... ./internal/replan/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
 
 fuzz:
 	$(GO) test -fuzz='FuzzRearrange$$'         -fuzztime=$(FUZZTIME) ./internal/core/
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -fuzz='FuzzSketchQuantile$$'    -fuzztime=$(FUZZTIME) ./internal/stats/
 	$(GO) test -fuzz='FuzzChaosDeterminism$$'  -fuzztime=$(FUZZTIME) ./internal/chaos/
 	$(GO) test -fuzz='FuzzPTASEquivalence$$'   -fuzztime=$(FUZZTIME) ./internal/opt/
+	$(GO) test -fuzz='FuzzReplanEquivalence$$' -fuzztime=$(FUZZTIME) ./internal/replan/
 
 # Smoke the hot-path benchmarks and the benchmark-trajectory harness (see
 # docs/perf.md). `make bench BASELINE=BENCH_sweep.json` also compares; the
@@ -67,6 +68,12 @@ netcast:
 # docs/perf.md.
 optscale:
 	$(GO) run ./cmd/airbench -optscale -optscaleout BENCH_optscale_new.json -optscalebaseline BENCH_optscale.json
+
+# Incremental replan smoke: single-page deltas at 10^5 pages must beat a
+# from-scratch PAMAD rebuild by >=10x with a bit-identical grid, gated
+# against the committed BENCH_replan.json. See docs/perf.md.
+replan:
+	$(GO) run ./cmd/airbench -replan -replanout BENCH_replan_new.json -replanbaseline BENCH_replan.json
 
 # Quick scenario sweep through the broadcast transport; fault-free cells
 # self-verify against sim.MeasureStream. Artifacts land under results/.

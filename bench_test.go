@@ -114,6 +114,31 @@ func BenchmarkSUSCBuild1M(b *testing.B) {
 	}
 }
 
+// BenchmarkPAMADPlace1M measures the Algorithm 4 placement engine alone
+// at a million pages (h=4, t=256..2048, 250k pages per group), at 1/5 of
+// the minimum channels. The frequency assignment is hoisted out so the
+// sample isolates PlaceEvenly — the path the incremental replan engine's
+// suffix replays reuse — whose per-operation allocation count is pinned by
+// TestPlaceEvenlyAllocs in internal/pamad.
+func BenchmarkPAMADPlace1M(b *testing.B) {
+	gs, err := workload.GroupSet(workload.Uniform, 4, 1_000_000, 256, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := core.CeilDiv(gs.MinChannels(), 5)
+	s, _, err := pamad.Frequencies(gs, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pamad.PlaceEvenly(gs, s, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPAMADFrequencies measures Algorithm 3 alone at 1/5 of the
 // minimum channels.
 func BenchmarkPAMADFrequencies(b *testing.B) {

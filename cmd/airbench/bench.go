@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"tcsa/internal/core"
+	"tcsa/internal/delaymodel"
 	"tcsa/internal/experiments"
 	"tcsa/internal/opt"
 	"tcsa/internal/pamad"
@@ -228,6 +229,42 @@ func runBuildBench(p experiments.Params, out io.Writer) (*perf.Report, error) {
 			optRes = res
 		}
 	}), perf.SeriesChecksum(optFloats(optRes)))
+
+	// OPT-quality at paper-scale x100: branch-and-bound cannot touch the
+	// 10^5-page instance, but the (1+eps) PTAS can, so the Figure-5 OPT
+	// curve extends there through opt.Approx at eps=0.01. Each sampled
+	// channel fraction records the PTAS delay next to PAMAD's analytic D'
+	// on the same frequencies domain; the checksum pins both so either
+	// engine drifting silently breaks the baseline.
+	big, err := p.ScaledInstance(workload.Uniform, 100)
+	if err != nil {
+		return nil, err
+	}
+	bigMin := big.MinChannels()
+	var quality []float64
+	add("ApproxQualityX100", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			quality = quality[:0]
+			for _, div := range []int{5, 3, 2} {
+				nBig := core.CeilDiv(bigMin, div)
+				res, err := opt.Approx(ctx, big, nBig, opt.ApproxOptions{Eps: 0.01})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp, _, err := pamad.Frequencies(big, nBig)
+				if err != nil {
+					b.Fatal(err)
+				}
+				quality = append(quality, float64(nBig), res.Delay,
+					delaymodel.GroupDelay(big, sp, nBig))
+			}
+		}
+	}), perf.SeriesChecksum(quality))
+	for i := 0; i+2 < len(quality); i += 3 {
+		fmt.Fprintf(out, "  x100 quality @%4.0f channels: PTAS D' %10.2f  PAMAD D' %10.2f  gap %.4f\n",
+			quality[i], quality[i+1], quality[i+2], quality[i+2]/quality[i+1])
+	}
 	return rep, nil
 }
 

@@ -15,6 +15,7 @@
 //	airbench -chaos -chaosbaseline BENCH_chaos.json  # chaos determinism gate
 //	airbench -netcast -netcastbaseline BENCH_netcast.json  # fan-out engine gate
 //	airbench -optscale -optscalebaseline BENCH_optscale.json  # PTAS scaling gate
+//	airbench -replan -replanbaseline BENCH_replan.json  # incremental replan gate
 //
 // -csv switches Figure 5 output to CSV for plotting; -stride k samples
 // every k-th channel count to trade resolution for speed.
@@ -59,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	optscaleBench := fs.Bool("optscale", false, "measure the (1+eps) PTAS optimizer against branch-and-bound along the scaling ladder and write a trajectory report")
 	optscaleout := fs.String("optscaleout", "BENCH_optscale.json", "report path for -optscale")
 	optscalebaseline := fs.String("optscalebaseline", "", "prior -optscale report to compare against; drift fails the run")
+	replanBench := fs.Bool("replan", false, "measure the incremental replan engine against a from-scratch rebuild (single-page deltas at 10^5 pages, >=10x gate) and write a trajectory report")
+	replanout := fs.String("replanout", "BENCH_replan.json", "report path for -replan")
+	replanbaseline := fs.String("replanbaseline", "", "prior -replan report to compare against; drift fails the run")
 	benchout := fs.String("benchout", "BENCH_sweep.json", "report path for -bench")
 	baseline := fs.String("baseline", "", "prior -bench report to compare against; regressions fail the run")
 	buildout := fs.String("buildout", "BENCH_build.json", "construction-engine report path for -bench (empty = skip)")
@@ -83,6 +87,14 @@ func run(args []string, out io.Writer) error {
 		return runChaosBench(p, chaosConfig{
 			out:      *chaosout,
 			baseline: *chaosbaseline,
+			slowdown: *maxSlowdown,
+			allocs:   *maxAllocGrowth,
+		}, out)
+	}
+	if *replanBench {
+		return runReplanBench(replanConfig{
+			out:      *replanout,
+			baseline: *replanbaseline,
 			slowdown: *maxSlowdown,
 			allocs:   *maxAllocGrowth,
 		}, out)

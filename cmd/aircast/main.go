@@ -15,6 +15,13 @@
 //
 //	aircast -serve -counts 3,5,3 -chaos -loss 0.1 -burst 0.05,0.25,0,0.8 \
 //	        -stall 64/4 -corrupt 0.02 -chaosseed 7
+//
+// Demonstrate a zero-pause live replan: after ~N slots on air the server
+// retires a page through the incremental replan engine and stages the
+// delta; the broadcast flips to the new program at the next cycle
+// boundary without skipping a slot:
+//
+//	aircast -serve -counts 3,5,3 -slot 5ms -duration 2s -replanafter 40
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"tcsa/internal/chaos"
 	"tcsa/internal/core"
 	"tcsa/internal/netcast"
+	"tcsa/internal/replan"
 	"tcsa/internal/workload"
 )
 
@@ -64,12 +72,16 @@ func run(args []string, out io.Writer) error {
 	stall := fs.String("stall", "", "server stall window as every/for slots, e.g. 64/4 (with -chaos)")
 	burst := fs.String("burst", "", "Gilbert-Elliott burst loss as g2b,b2g,lossgood,lossbad (with -chaos)")
 	chaosSeed := fs.Int64("chaosseed", 1, "fault-injector seed; same seed replays the same faults")
+	replanAfter := fs.Int("replanafter", 0, "retire a page via the incremental replan engine after ~N slots and flip the program live (with -serve)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *chaosOn && !*serve {
 		return fmt.Errorf("-chaos requires -serve")
+	}
+	if *replanAfter < 0 || (*replanAfter > 0 && !*serve) {
+		return fmt.Errorf("-replanafter requires -serve and a positive slot count")
 	}
 
 	switch {
@@ -80,7 +92,7 @@ func run(args []string, out io.Writer) error {
 				return buildPlan(*chaosSeed, *loss, *corrupt, *stall, *burst, channels, length)
 			}
 		}
-		return runServe(out, *counts, *dist, *pages, *groups, *t1, *ratio, *channels, *slot, *duration, mk)
+		return runServe(out, *counts, *dist, *pages, *groups, *t1, *ratio, *channels, *slot, *duration, mk, *replanAfter)
 	case *fetch != "":
 		return runFetch(out, *fetch, core.PageID(*page), *timeout)
 	case *smart != "":
@@ -127,7 +139,7 @@ func buildPlan(seed int64, loss, corrupt float64, stall, burst string, channels,
 	return chaos.NewPlan(cfg, channels, length)
 }
 
-func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, channels int, slot, duration time.Duration, mk faultMaker) error {
+func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, channels int, slot, duration time.Duration, mk faultMaker, replanAfter int) error {
 	gs, err := buildInstance(counts, dist, pages, groups, t1, ratio)
 	if err != nil {
 		return err
@@ -136,24 +148,38 @@ func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, chan
 	if n == 0 {
 		n = gs.MinChannels()
 	}
-	sched, err := tcsa.Build(gs, n)
-	if err != nil {
-		return err
+	// A live replan needs the engine to own the on-air program, so the
+	// demo pins the PAMAD path; otherwise the facade picks the scheduler.
+	var eng *replan.Engine
+	var prog *core.Program
+	algo := "replan/PAMAD"
+	if replanAfter > 0 {
+		eng, err = replan.New(gs, n)
+		if err != nil {
+			return err
+		}
+		prog = eng.Snapshot()
+	} else {
+		sched, err := tcsa.Build(gs, n)
+		if err != nil {
+			return err
+		}
+		prog, algo = sched.Program, string(sched.Algorithm)
 	}
 	srvCfg := netcast.ServerConfig{SlotDuration: slot}
 	if mk != nil {
-		fault, err := mk(sched.Program.Channels(), sched.Program.Length())
+		fault, err := mk(prog.Channels(), prog.Length())
 		if err != nil {
 			return err
 		}
 		srvCfg.Fault = fault
 	}
-	srv, err := netcast.NewServer(sched.Program, srvCfg)
+	srv, err := netcast.NewServer(prog, srvCfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "broadcasting %v with %s over %d channels, cycle %d slots, slot %v\n",
-		gs, sched.Algorithm, n, sched.Program.Length(), slot)
+		gs, algo, n, prog.Length(), slot)
 	if srvCfg.Fault != nil {
 		fmt.Fprintln(out, "fault injection on: frames may stall, drop, or arrive corrupted")
 	}
@@ -172,10 +198,31 @@ func runServe(out io.Writer, counts, dist string, pages, groups, t1, ratio, chan
 		ctx, cancel = context.WithTimeout(ctx, duration)
 		defer cancel()
 	}
+	if eng != nil {
+		go func() {
+			time.Sleep(time.Duration(replanAfter) * slot)
+			d, err := eng.RetirePage(gs.Len() - 1)
+			if err != nil {
+				fmt.Fprintf(out, "live replan failed: %v\n", err)
+				return
+			}
+			if err := srv.StageProgram(eng.Snapshot()); err != nil {
+				fmt.Fprintf(out, "staging replanned program failed: %v\n", err)
+				return
+			}
+			fmt.Fprintf(out, "live replan staged: retired a page from group %d (%v delta, %d cells cleared, %d placed); flip lands at the next cycle boundary\n",
+				gs.Len()-1, d.Kind, d.ClearedCells, d.PlacedCells)
+		}()
+	}
 	if err := srv.Run(ctx); err != nil && ctx.Err() == nil {
 		return err
 	}
 	fmt.Fprintf(out, "stopped after %d slots\n", srv.Slot())
+	if eng != nil {
+		ep := srv.Epoch()
+		fmt.Fprintf(out, "final epoch %d on air (flipped at slot %d, cycle %d slots)\n",
+			ep.Seq, ep.Base, ep.Program.Length())
+	}
 	if srvCfg.Fault != nil {
 		f := srv.Faults()
 		fmt.Fprintf(out, "faults injected: %d stalled slots, %d dropped frames, %d corrupted frames\n",

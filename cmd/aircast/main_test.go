@@ -48,6 +48,8 @@ func TestRunErrors(t *testing.T) {
 		{"-serve", "-counts", "x"},
 		{"-serve", "-dist", "pareto"},
 		{"-fetch", "not-an-addr::"},
+		{"-replanafter", "5"}, // without -serve
+		{"-serve", "-counts", "2,3", "-t1", "2", "-replanafter", "-1"},
 	}
 	for _, args := range tests {
 		var out strings.Builder
@@ -172,6 +174,42 @@ func TestServeChaosEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out, "faults injected:") {
 		t.Errorf("server never reported fault stats: %q", out)
+	}
+}
+
+func TestServeLiveReplanEndToEnd(t *testing.T) {
+	// Serve with a live replan scheduled mid-run: the engine retires a
+	// page, stages the delta, and the broadcast must flip epochs at a
+	// cycle boundary while a client keeps fetching through the transition.
+	var serveOut syncBuilder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-serve", "-counts", "3,5,3", "-t1", "2", "-slot", "2ms", "-duration", "1500ms",
+			"-replanafter", "20",
+		}, &serveOut)
+	}()
+
+	addr := waitForAddr(t, &serveOut)
+	var fetchOut strings.Builder
+	if err := run([]string{"-fetch", addr, "-page", "0", "-timeout", "3s"}, &fetchOut); err != nil {
+		t.Fatalf("fetch across replan: %v (server output: %s)", err, serveOut.String())
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop at -duration")
+	}
+	out := serveOut.String()
+	if !strings.Contains(out, "live replan staged") {
+		t.Errorf("server never staged the replan: %q", out)
+	}
+	if !strings.Contains(out, "final epoch 1 on air") {
+		t.Errorf("server never flipped to the replanned epoch: %q", out)
 	}
 }
 

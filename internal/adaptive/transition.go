@@ -102,6 +102,53 @@ func spliceWait(a *core.Analysis, id core.PageID, L, newWait float64) float64 {
 	return sum / L
 }
 
+// SpliceBounds returns, per item, a provable worst-case wait (in slots)
+// over every integer arrival instant u in [0, L_old) of the final old
+// cycle, under the same splice model as TransitionCost: the old program
+// runs to its cycle boundary, then the new program starts at phase zero.
+//
+// With the item's distinct old appearance columns c_0 < ... < c_m, the
+// worst in-cycle arrival lands one slot after an appearance and waits out
+// the largest inter-appearance hole; the worst carried-over arrival lands
+// one slot after c_m and pays the rest of the cycle plus the item's
+// phase-0 wait on the new program. The bound is exact for integer
+// arrivals — conformance.TransitionBound replays every u and checks it —
+// and is what the zero-pause epoch flip promises each client: staging a
+// replan never costs more than SpliceBounds says.
+func SpliceBounds(old, next Epoch) ([]float64, error) {
+	if old.Program == nil || next.Program == nil {
+		return nil, fmt.Errorf("adaptive: epoch without program")
+	}
+	if len(old.IDs) != len(next.IDs) {
+		return nil, fmt.Errorf("adaptive: item universes differ (%d vs %d)", len(old.IDs), len(next.IDs))
+	}
+	oldIx := old.Program.AppearanceIndex()
+	newA := core.Analyze(next.Program)
+	L := old.Program.Length()
+	bounds := make([]float64, len(old.IDs))
+	for item := range old.IDs {
+		w0 := newA.NextAfter(next.IDs[item], 0)
+		cols := oldIx.Columns(old.IDs[item])
+		if len(cols) == 0 {
+			bounds[item] = float64(L) + w0
+			continue
+		}
+		worst := float64(cols[0]) // u = 0 waits for the first appearance
+		for k := 1; k < len(cols); k++ {
+			if gap := float64(cols[k] - cols[k-1] - 1); gap > worst {
+				worst = gap
+			}
+		}
+		if last := int(cols[len(cols)-1]); last < L-1 {
+			if tail := float64(L-last-1) + w0; tail > worst {
+				worst = tail
+			}
+		}
+		bounds[item] = worst
+	}
+	return bounds, nil
+}
+
 // carryProbability is the chance a uniform final-cycle arrival for this
 // item crosses the boundary.
 func carryProbability(a *core.Analysis, id core.PageID, L float64) float64 {

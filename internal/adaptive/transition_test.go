@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"tcsa/internal/conformance"
 	"tcsa/internal/core"
+	"tcsa/internal/replan"
 )
 
 // identicalEpochs builds a controller and returns two epochs with the same
@@ -132,5 +134,91 @@ func TestTransitionAfterLearning(t *testing.T) {
 	}
 	if rep.AvgSteadyWait <= 0 {
 		t.Errorf("AvgSteadyWait = %f", rep.AvgSteadyWait)
+	}
+}
+
+// survivorUniverse lists every old page that survives delta, with its
+// remapped identity on the new program.
+func survivorUniverse(d *replan.Delta, oldPages int) (oldIDs, newIDs []core.PageID) {
+	for id := core.PageID(0); int(id) < oldPages; id++ {
+		if nid := d.RemapPage(id); nid != core.None {
+			oldIDs = append(oldIDs, id)
+			newIDs = append(newIDs, nid)
+		}
+	}
+	return oldIDs, newIDs
+}
+
+// TestSpliceBoundsAgainstOracle drives live replan edits and checks, via
+// the independent conformance replay, that every client's measured wait
+// across the epoch flip stays within SpliceBounds — and that the bounds
+// are exact: shaving half a slot off any item's bound makes the oracle
+// reject the transition.
+func TestSpliceBoundsAgainstOracle(t *testing.T) {
+	gs, err := core.Geometric(4, 2, []int{6, 8, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := replan.New(gs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := []func() (*replan.Delta, error){
+		func() (*replan.Delta, error) { return eng.RetirePage(1) },
+		func() (*replan.Delta, error) { return eng.AddPage(2) },
+		func() (*replan.Delta, error) { return eng.SetChannels(3) },
+		func() (*replan.Delta, error) { return eng.SetExpectedTime(0, 2) },
+	}
+	for step, edit := range edits {
+		oldProg := eng.Snapshot()
+		oldPages := eng.GroupSet().Pages()
+		d, err := edit()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		newProg := eng.Snapshot()
+		oldIDs, newIDs := survivorUniverse(d, oldPages)
+		bounds, err := SpliceBounds(
+			Epoch{Program: oldProg, IDs: oldIDs},
+			Epoch{Program: newProg, IDs: newIDs},
+		)
+		if err != nil {
+			t.Fatalf("step %d: SpliceBounds: %v", step, err)
+		}
+		if err := conformance.TransitionBound(oldProg, newProg, oldIDs, newIDs, bounds); err != nil {
+			t.Fatalf("step %d (kind %v): measured wait exceeds SpliceBounds: %v", step, d.Kind, err)
+		}
+		for item := range bounds {
+			tight := append([]float64(nil), bounds...)
+			tight[item] -= 0.5
+			if err := conformance.TransitionBound(oldProg, newProg, oldIDs, newIDs, tight); err == nil {
+				t.Fatalf("step %d: bound for item %d (%.1f) is not tight", step, item, bounds[item])
+			}
+		}
+	}
+}
+
+// TestSpliceBoundsValidation pins the input contract.
+func TestSpliceBoundsValidation(t *testing.T) {
+	oldE, newE := identicalEpochs(t)
+	if _, err := SpliceBounds(Epoch{}, newE); err == nil {
+		t.Error("epoch without program accepted")
+	}
+	short := newE
+	short.IDs = short.IDs[:2]
+	if _, err := SpliceBounds(oldE, short); err == nil {
+		t.Error("mismatched universes accepted")
+	}
+	bounds, err := SpliceBounds(oldE, newE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != len(oldE.IDs) {
+		t.Fatalf("%d bounds for %d items", len(bounds), len(oldE.IDs))
+	}
+	for i, b := range bounds {
+		if b < 0 || b > float64(oldE.Program.Length()+newE.Program.Length()) {
+			t.Errorf("bound[%d] = %f out of range", i, b)
+		}
 	}
 }

@@ -4,9 +4,11 @@ import (
 	"math"
 	"testing"
 
+	"tcsa/internal/adaptive"
 	"tcsa/internal/conformance"
 	"tcsa/internal/core"
 	"tcsa/internal/pamad"
+	"tcsa/internal/replan"
 	"tcsa/internal/sim"
 	"tcsa/internal/stats"
 	"tcsa/internal/susc"
@@ -143,7 +145,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		"faulty": {
 			Seed: 1, Loss: 0.2, Corrupt: 0.05, Churn: 0.1, Jitter: 0.3,
 			StallEvery: 50, StallFor: 3,
-			Burst:      &BurstConfig{GoodToBad: 0.05, BadToGood: 0.3, LossBad: 0.9},
+			Burst: &BurstConfig{GoodToBad: 0.05, BadToGood: 0.3, LossBad: 0.9},
 		},
 	}
 	for name, cfg := range cfgs {
@@ -337,6 +339,22 @@ func TestReplanDegradation(t *testing.T) {
 	if dres.MajorCycle != res.Replan.MajorCycle {
 		t.Errorf("Replan.MajorCycle %d != pamad rebuild %d", res.Replan.MajorCycle, dres.MajorCycle)
 	}
+	// The resize rides the incremental replan engine: a channel change is
+	// always a rebuild, and the cell accounting must match the nominal and
+	// degraded transmission totals.
+	if res.Replan.DeltaKind != "rebuild" {
+		t.Errorf("DeltaKind = %q, want \"rebuild\" for a channel resize", res.Replan.DeltaKind)
+	}
+	nomS, _, err := pamad.Frequencies(gs, prog.Channels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := nomS.TotalSlots(gs); res.Replan.ClearedCells != want {
+		t.Errorf("ClearedCells = %d, want nominal F=%d", res.Replan.ClearedCells, want)
+	}
+	if want := dres.Frequencies.TotalSlots(gs); res.Replan.PlacedCells != want {
+		t.Errorf("PlacedCells = %d, want degraded F=%d", res.Replan.PlacedCells, want)
+	}
 
 	clean, err := Run(a, stream, Config{Seed: 5, Replan: true})
 	if err != nil {
@@ -409,5 +427,47 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if (Config{}).Active() {
 		t.Error("zero config reports Active")
+	}
+}
+
+// TestDegradationTransitionBound closes the loop between the chaos
+// degradation path and the live-transition machinery: flipping from the
+// nominal PAMAD schedule to the loss-degraded one must keep every page's
+// splice wait within adaptive.SpliceBounds, checked by the independent
+// conformance replay. Page identities are stable across a channel resize,
+// so the item universe is the identity map.
+func TestDegradationTransitionBound(t *testing.T) {
+	gs, prog := suscProgram(t)
+	eng, err := replan.New(gs, prog.Channels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := eng.Snapshot()
+	a := core.Analyze(prog)
+	stream := uniformStream(t, gs, prog.Length(), 1000, 31)
+	res, err := Run(a, stream, Config{Seed: 5, Loss: 0.5, Replan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replan == nil {
+		t.Fatal("no Replan despite degraded capacity")
+	}
+	if _, err := eng.SetChannels(res.Replan.EffectiveChannels); err != nil {
+		t.Fatal(err)
+	}
+	degraded := eng.Snapshot()
+	ids := make([]core.PageID, gs.Pages())
+	for i := range ids {
+		ids[i] = core.PageID(i)
+	}
+	bounds, err := adaptive.SpliceBounds(
+		adaptive.Epoch{Program: nominal, IDs: ids},
+		adaptive.Epoch{Program: degraded, IDs: ids},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conformance.TransitionBound(nominal, degraded, ids, ids, bounds); err != nil {
+		t.Errorf("degradation transition exceeds SpliceBounds: %v", err)
 	}
 }

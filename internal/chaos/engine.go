@@ -11,7 +11,7 @@ import (
 
 	"tcsa/internal/core"
 	"tcsa/internal/delaymodel"
-	"tcsa/internal/pamad"
+	"tcsa/internal/replan"
 	"tcsa/internal/sim"
 	"tcsa/internal/stats"
 	"tcsa/internal/workload"
@@ -54,8 +54,9 @@ func (l *Ledger) add(o *Ledger) {
 	l.Unserved += o.Unserved
 }
 
-// Replan reports the graceful-degradation path: PAMAD re-run against the
-// effective channel capacity the plan's loss rate leaves usable.
+// Replan reports the graceful-degradation path: the incremental replan
+// engine resizing the live schedule down to the effective channel capacity
+// the plan's loss rate leaves usable.
 type Replan struct {
 	// EffectiveChannels is the degraded capacity fed back into PAMAD.
 	EffectiveChannels int
@@ -65,6 +66,15 @@ type Replan struct {
 	MajorCycle int
 	// AnalyticDelay is the delay model's D' for the degraded schedule.
 	AnalyticDelay float64
+	// DeltaKind is how the replan engine classified the resize (a channel
+	// change is always "rebuild"; kept observable so a future fast path
+	// shows up in reports).
+	DeltaKind string
+	// ClearedCells/PlacedCells is the engine's cell accounting for the
+	// resize: transmissions vacated from the nominal schedule and written
+	// into the degraded one.
+	ClearedCells int
+	PlacedCells  int
 }
 
 // Result is a chaos measurement: the standard metrics (Wait doubles as
@@ -393,21 +403,33 @@ func RunParallel(a *core.Analysis, stream workload.Stream, cfg Config, workers i
 }
 
 // finish attaches the plan-level quantities (effective loss, degradation
-// replan) that do not depend on the measured stream.
+// replan) that do not depend on the measured stream. The degradation path
+// runs through the incremental replan engine — the same machinery a live
+// broadcaster uses to resize its schedule — so the chaos report additionally
+// carries the engine's delta accounting; the derived frequencies, cycle and
+// delay are identical to a from-scratch pamad.Build at the degraded budget
+// (the engine's differential gate pins that equivalence).
 func finish(res *Result, plan *Plan, prog *core.Program) (*Result, error) {
 	res.EffectiveLoss = plan.EffectiveLossRate()
 	if plan.cfg.Replan {
 		eff := plan.EffectiveChannels()
 		if eff < prog.Channels() {
-			_, pr, err := pamad.Build(prog.GroupSet(), eff)
+			eng, err := replan.New(prog.GroupSet(), prog.Channels())
+			if err != nil {
+				return nil, fmt.Errorf("chaos: degradation replan at %d channels: %w", eff, err)
+			}
+			delta, err := eng.SetChannels(eff)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: degradation replan at %d channels: %w", eff, err)
 			}
 			res.Replan = &Replan{
 				EffectiveChannels: eff,
-				Frequencies:       pr.Frequencies,
-				MajorCycle:        pr.MajorCycle,
-				AnalyticDelay:     pr.Delay,
+				Frequencies:       eng.Frequencies(),
+				MajorCycle:        eng.Program().Length(),
+				AnalyticDelay:     eng.Delay(),
+				DeltaKind:         delta.Kind.String(),
+				ClearedCells:      delta.ClearedCells,
+				PlacedCells:       delta.PlacedCells,
 			}
 		}
 	}

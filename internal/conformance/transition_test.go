@@ -1,0 +1,85 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"tcsa/internal/conformance"
+	"tcsa/internal/core"
+	"tcsa/internal/pamad"
+)
+
+func transitionPair(t *testing.T) (old, next *core.Program) {
+	t.Helper()
+	gs, err := core.Geometric(4, 2, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _, err = pamad.Build(gs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, _, err = pamad.Build(gs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return old, next
+}
+
+// TestTransitionBoundValidation pins the oracle's input contract and its
+// rejection of transitions that strand an item.
+func TestTransitionBoundValidation(t *testing.T) {
+	old, next := transitionPair(t)
+	ids := make([]core.PageID, old.GroupSet().Pages())
+	for i := range ids {
+		ids[i] = core.PageID(i)
+	}
+	loose := make([]float64, len(ids))
+	for i := range loose {
+		loose[i] = float64(old.Length() + next.Length())
+	}
+	if err := conformance.TransitionBound(nil, next, ids, ids, loose); err == nil {
+		t.Error("nil old program accepted")
+	}
+	if err := conformance.TransitionBound(old, next, ids, ids[:1], loose); err == nil {
+		t.Error("mismatched ID lists accepted")
+	}
+	if err := conformance.TransitionBound(old, next, ids, ids, loose[:1]); err == nil {
+		t.Error("mismatched bounds accepted")
+	}
+	// A page ID outside the next program's universe is a stranded item.
+	bad := append([]core.PageID(nil), ids...)
+	bad[0] = core.PageID(next.GroupSet().Pages() + 50)
+	if err := conformance.TransitionBound(old, next, ids, bad, loose); err == nil {
+		t.Error("item never broadcast by the next program accepted")
+	}
+	// A full-cycle-plus-cycle bound always holds.
+	if err := conformance.TransitionBound(old, next, ids, ids, loose); err != nil {
+		t.Errorf("loose bounds rejected: %v", err)
+	}
+}
+
+// TestTransitionBoundDetectsViolation: a zero bound must be rejected for
+// any item that ever waits, and a retired item (newID None) is only
+// checked for its in-cycle arrivals.
+func TestTransitionBoundDetectsViolation(t *testing.T) {
+	old, next := transitionPair(t)
+	ids := make([]core.PageID, old.GroupSet().Pages())
+	for i := range ids {
+		ids[i] = core.PageID(i)
+	}
+	zero := make([]float64, len(ids))
+	if err := conformance.TransitionBound(old, next, ids, ids, zero); err == nil {
+		t.Error("zero bounds accepted: no client ever waits?")
+	}
+	// Retired item: in-cycle waits still checked, boundary-crossers are
+	// not (there is no post-boundary service to wait for).
+	newIDs := append([]core.PageID(nil), ids...)
+	newIDs[0] = core.None
+	loose := make([]float64, len(ids))
+	for i := range loose {
+		loose[i] = float64(old.Length() + next.Length())
+	}
+	if err := conformance.TransitionBound(old, next, ids, newIDs, loose); err != nil {
+		t.Errorf("retired item rejected under loose bounds: %v", err)
+	}
+}

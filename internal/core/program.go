@@ -228,6 +228,27 @@ func (p *Program) CountOf(id PageID) int {
 	return n
 }
 
+// Rebind swaps the group set the program's cells are interpreted against
+// without touching the grid. It is the O(1) primitive the incremental
+// replan engine uses to carry a placement prefix across an instance edit:
+// when groups 0..g-1 are unchanged, their page IDs are identical in the
+// old and new group sets, so the grid cells those groups occupy remain
+// valid verbatim.
+//
+// The caller owns the invariant that every occupied cell's PageID is
+// meaningful under gs — Rebind deliberately does not walk the grid
+// (that scan would cost the O(n) the replan engine exists to avoid).
+// Callers that cannot prove the invariant must Clear the affected cells
+// before rebinding; the replan differential and fuzz gates pin the only
+// production caller cell for cell.
+func (p *Program) Rebind(gs *GroupSet) error {
+	if gs == nil {
+		return fmt.Errorf("%w: nil group set", ErrInvalidGroupSet)
+	}
+	p.gs = gs
+	return nil
+}
+
 // Clone returns a deep copy of the program.
 func (p *Program) Clone() *Program {
 	q := *p

@@ -68,6 +68,21 @@ func (s Frequencies) MajorCycle(gs *core.GroupSet, nReal int) int {
 // Clone returns an independent copy.
 func (s Frequencies) Clone() Frequencies { return append(Frequencies(nil), s...) }
 
+// Equal reports whether two frequency vectors are identical element for
+// element. The replan engine uses it to decide how much of a placement an
+// instance edit invalidated: equal prefixes place identically.
+func (s Frequencies) Equal(other Frequencies) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for i, v := range s {
+		if v != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // GroupDelay evaluates the paper's average group delay D' for frequency
 // vector s over all h groups of gs with nReal channels. It assumes s has
 // been validated; out-of-contract input yields a meaningless (not unsafe)

@@ -62,6 +62,17 @@ func (p Params) Instance(dist workload.Distribution) (*core.GroupSet, error) {
 	return workload.GroupSet(dist, p.Groups, p.Pages, p.BaseTime, p.Ratio)
 }
 
+// ScaledInstance materialises the instance with the page count multiplied
+// by factor, keeping every other paper parameter. Scale sweeps and the
+// paper-scale OPT-quality benchmarks use it to stress the engines beyond
+// Figure 4's 1000 pages without inventing a second parameter set.
+func (p Params) ScaledInstance(dist workload.Distribution, factor int) (*core.GroupSet, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("experiments: scale factor %d", factor)
+	}
+	return workload.GroupSet(dist, p.Groups, p.Pages*factor, p.BaseTime, p.Ratio)
+}
+
 // validate normalises and sanity-checks p.
 func (p *Params) validate() error {
 	if p.Pages < p.Groups || p.Groups < 1 {

@@ -31,6 +31,7 @@ import (
 	"tcsa/internal/core"
 	"tcsa/internal/netcast"
 	"tcsa/internal/pamad"
+	"tcsa/internal/replan"
 	"tcsa/internal/sim"
 	"tcsa/internal/stats"
 	"tcsa/internal/workload"
@@ -639,15 +640,22 @@ func finish(res *Result, plan *chaos.Plan, prog *core.Program) (*Result, error) 
 	if plan.Config().Replan {
 		eff := plan.EffectiveChannels()
 		if eff < prog.Channels() {
-			_, pr, err := pamad.Build(prog.GroupSet(), eff)
+			eng, err := replan.New(prog.GroupSet(), prog.Channels())
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: degradation replan at %d channels: %w", eff, err)
+			}
+			delta, err := eng.SetChannels(eff)
 			if err != nil {
 				return nil, fmt.Errorf("loadgen: degradation replan at %d channels: %w", eff, err)
 			}
 			res.Result.Replan = &chaos.Replan{
 				EffectiveChannels: eff,
-				Frequencies:       pr.Frequencies,
-				MajorCycle:        pr.MajorCycle,
-				AnalyticDelay:     pr.Delay,
+				Frequencies:       eng.Frequencies(),
+				MajorCycle:        eng.Program().Length(),
+				AnalyticDelay:     eng.Delay(),
+				DeltaKind:         delta.Kind.String(),
+				ClearedCells:      delta.ClearedCells,
+				PlacedCells:       delta.PlacedCells,
 			}
 		}
 	}

@@ -10,6 +10,7 @@ import (
 
 	"tcsa/internal/chaos"
 	"tcsa/internal/core"
+	"tcsa/internal/replan"
 )
 
 // startFaultyServer is startServer with a fault injector attached.
@@ -340,4 +341,195 @@ func TestSmartFetchReplansUnderLoss(t *testing.T) {
 	}
 	t.Logf("replans=%d active=%d dozed=%d bad=%d elapsed=%v",
 		res.Replans, res.ActiveFrames, res.DozedSlots, res.BadFrames, res.Elapsed)
+}
+
+// liveReplanStorm is the churn-storm race test for the elastic runtime:
+// concurrent tuners subscribe and unsubscribe while the replan engine keeps
+// editing the instance and staging fresh snapshots for zero-pause epoch
+// flips. Readers only ever see frames that decode cleanly and carry page
+// IDs from some staged epoch; the exact flip alignment is pinned by the
+// deterministic TestRingEpochFlipZeroPause — here the point is the -race
+// coverage of StageProgram/Epoch against the transmit path.
+func liveReplanStorm(t *testing.T, useRing bool) {
+	gs, err := core.Geometric(4, 2, []int{5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := replan.New(gs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPages := eng.GroupSet().Pages() + 1 // edits alternate retire/add on the last group
+
+	var tr Transport
+	var ring *BroadcastRing
+	if useRing {
+		ring, err = NewBroadcastRing(eng.Channels(), DefaultRingSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr = ring
+	}
+	srv, err := NewServer(eng.Snapshot(), ServerConfig{SlotDuration: time.Millisecond, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(context.Background()) }()
+	defer func() {
+		srv.Stop()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Run returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if useRing {
+		// Ring readers chase the head concurrently with flips.
+		for i := 0; i < 3; i++ {
+			ch := i % eng.Channels()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var abs int64
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					f, st := ring.Poll(ch, abs)
+					switch st {
+					case RingOK:
+						if f.Page != core.None && (f.Page < 0 || int(f.Page) >= maxPages) {
+							t.Errorf("slot %d ch %d: page %d outside every staged epoch", abs, ch, f.Page)
+							return
+						}
+						abs++
+					case RingSkipped:
+						abs++
+					case RingLost:
+						abs = ring.Head(ch) // fell behind: resync
+					case RingPending:
+						time.Sleep(200 * time.Microsecond)
+					default:
+						t.Errorf("slot %d ch %d: unexpected status %v", abs, ch, st)
+						return
+					}
+				}
+			}()
+		}
+	} else {
+		addrs := srv.ChannelAddrs()
+		for i := 0; i < 4; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tuner, err := NewTuner()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer tuner.Close()
+				for n := 0; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := tuner.Tune(addrs[(i+n)%len(addrs)]); err != nil {
+						t.Error(err)
+						return
+					}
+					f, err := tuner.ReadFrame(20 * time.Millisecond)
+					if err == nil && f.Page != core.None && (f.Page < 0 || int(f.Page) >= maxPages) {
+						t.Errorf("slot %d ch %d: page %d outside every staged epoch", f.Slot, f.Channel, f.Page)
+						return
+					}
+					if n%3 == 0 {
+						if err := tuner.Detach(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}()
+		}
+	}
+
+	// Observer goroutine: the full concurrent read surface, including the
+	// epoch accessor, against transmits and flips.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lastSeq := -1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ep := srv.Epoch()
+			if ep.Seq < lastSeq {
+				t.Errorf("epoch seq went backwards: %d -> %d", lastSeq, ep.Seq)
+				return
+			}
+			lastSeq = ep.Seq
+			_ = srv.Slot()
+			_ = srv.Faults()
+			_ = srv.Subscribers(0)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// The replan loop: retire/add cycling on the last group, each edit
+	// staged as a fresh snapshot. The engine itself is single-owner; only
+	// the snapshots cross goroutines.
+	deadline := time.After(300 * time.Millisecond)
+	for i := 0; ; i++ {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			if srv.Epoch().Seq == 0 {
+				t.Error("storm finished without a single epoch flip")
+			}
+			return
+		default:
+		}
+		var evErr error
+		if i%2 == 0 {
+			_, evErr = eng.RetirePage(2)
+		} else {
+			_, evErr = eng.AddPage(2)
+		}
+		if evErr != nil {
+			t.Error(evErr)
+			close(stop)
+			wg.Wait()
+			return
+		}
+		if err := srv.StageProgram(eng.Snapshot()); err != nil {
+			t.Error(err)
+			close(stop)
+			wg.Wait()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestChurnRaceLiveReplanUDP(t *testing.T) {
+	liveReplanStorm(t, false)
+}
+
+func TestChurnRaceLiveReplanRing(t *testing.T) {
+	liveReplanStorm(t, true)
 }

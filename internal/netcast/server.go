@@ -140,6 +140,17 @@ func (s *Server) Faults() FaultStats {
 // Transport returns the transport the server broadcasts through.
 func (s *Server) Transport() Transport { return s.tr }
 
+// StageProgram stages the next epoch's program for a zero-pause live
+// transition: the running program keeps airing and the tick loop flips at
+// the next slot that starts one of its cycles. Safe to call while Run is
+// transmitting; pass an immutable snapshot (replan.Engine.Snapshot).
+func (s *Server) StageProgram(next *core.Program) error {
+	return s.caster.StageProgram(next)
+}
+
+// Epoch reports the program epoch currently on air.
+func (s *Server) Epoch() EpochInfo { return s.caster.Epoch() }
+
 // Run transmits until ctx is cancelled or Stop is called; the transport
 // owns its own reader/worker goroutines, Run owns only the slot clock.
 func (s *Server) Run(ctx context.Context) error {

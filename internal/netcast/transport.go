@@ -44,19 +44,46 @@ type FaultStats struct {
 	CorruptFrames int64 // per-channel frames sent with a flipped byte
 }
 
+// EpochInfo describes a program epoch the caster airs: the program, the
+// absolute slot where its phase 0 started, and how many flips preceded it.
+type EpochInfo struct {
+	// Seq counts completed epoch flips; 0 is the bootstrap epoch.
+	Seq int
+	// Base is the absolute slot at which this epoch's column 0 aired (or
+	// will air: the bootstrap epoch has Base 0 even before the first cast).
+	Base int
+	// Program is this epoch's broadcast program. Epochs are copy-on-write:
+	// the program behind an EpochInfo is never mutated, a replan stages a
+	// fresh snapshot instead.
+	Program *core.Program
+}
+
 // Caster is the transport-independent slot engine: one call per absolute
 // slot encodes each channel's frame exactly once and publishes it through
 // the Transport, with fault injection applied in the same priority order
 // as the chaos measurement engine (stall, then drop, then corruption).
 //
+// The caster owns the live-transition protocol. A replan stages its new
+// program with StageProgram; the cast loop keeps airing the old epoch and
+// flips exactly at the next slot that starts an old-program cycle — the
+// boundary the adaptive transition model assumes: the old epoch runs to
+// the end of its cycle, the new one starts at phase zero. The flip is a
+// pointer swap between two immutable snapshots, so no slot is ever paused
+// and no frame mixes epochs; clients' extra wait across the boundary is
+// bounded by adaptive.SpliceBounds and checked by the
+// conformance.TransitionBound oracle in the package tests.
+//
 // CastSlot is not safe for concurrent use — one goroutine (the server's
 // tick loop, or a load generator's virtual-time broadcaster) owns the
-// cast sequence. The fault counters may be read concurrently via Faults.
+// cast sequence. StageProgram, Epoch and Faults may be called
+// concurrently with it.
 type Caster struct {
-	prog  *core.Program
-	tr    Transport
-	fault FaultInjector
-	frame []byte
+	epoch     *EpochInfo                // owned by the cast goroutine
+	published atomic.Pointer[EpochInfo] // last flipped epoch, for observers
+	staged    atomic.Pointer[core.Program]
+	tr        Transport
+	fault     FaultInjector
+	frame     []byte
 
 	stalledSlots  atomic.Int64
 	droppedFrames atomic.Int64
@@ -75,27 +102,63 @@ func NewCaster(prog *core.Program, tr Transport, fault FaultInjector) (*Caster, 
 	if tr.Channels() != prog.Channels() {
 		return nil, errors.New("netcast: transport/program channel count mismatch")
 	}
-	return &Caster{
-		prog:  prog,
+	c := &Caster{
+		epoch: &EpochInfo{Seq: 0, Base: 0, Program: prog},
 		tr:    tr,
 		fault: fault,
 		frame: make([]byte, 0, FrameSize),
-	}, nil
+	}
+	c.published.Store(c.epoch)
+	return c, nil
 }
+
+// StageProgram hands the caster the next epoch's program. The cast loop
+// flips to it at the next slot that starts a cycle of the airing epoch;
+// until then the old program keeps airing without a pause. The program
+// must not be mutated after staging (pass a snapshot — replan.Engine's
+// Snapshot is the production source). Staging again before the flip
+// replaces the pending program: the last staged snapshot wins. The
+// channel count must match the transport: the broadcast spectrum is
+// fixed hardware here, only the schedule is elastic.
+func (c *Caster) StageProgram(next *core.Program) error {
+	if next == nil {
+		return errors.New("netcast: nil program")
+	}
+	if next.Channels() != c.tr.Channels() {
+		return errors.New("netcast: staged program channel count mismatch")
+	}
+	c.staged.Store(next)
+	return nil
+}
+
+// Epoch reports the epoch currently on air. Safe to call concurrently
+// with CastSlot; during a flip it returns either the old or the new epoch,
+// never a torn mix.
+func (c *Caster) Epoch() EpochInfo { return *c.published.Load() }
 
 // CastSlot encodes and publishes absolute slot abs on every channel.
 func (c *Caster) CastSlot(abs int) {
+	if st := c.staged.Load(); st != nil && c.epoch.Program.Column(abs-c.epoch.Base) == 0 {
+		// Start of an old-epoch cycle: flip. The CAS tolerates a racing
+		// StageProgram — a snapshot staged after the Load simply waits for
+		// the next boundary.
+		if c.staged.CompareAndSwap(st, nil) {
+			c.epoch = &EpochInfo{Seq: c.epoch.Seq + 1, Base: abs, Program: st}
+			c.published.Store(c.epoch)
+		}
+	}
+	prog := c.epoch.Program
 	if c.fault != nil && c.fault.Stalled(abs) {
 		// The slot counter still advances during a stall: broadcast time
 		// is locked to the clock, a stalled server simply wastes the slot.
 		c.stalledSlots.Add(1)
-		for ch := 0; ch < c.prog.Channels(); ch++ {
+		for ch := 0; ch < prog.Channels(); ch++ {
 			c.tr.Skip(ch, abs)
 		}
 		return
 	}
-	col := c.prog.Column(abs)
-	for ch := 0; ch < c.prog.Channels(); ch++ {
+	col := prog.Column(abs - c.epoch.Base)
+	for ch := 0; ch < prog.Channels(); ch++ {
 		if !c.tr.NeedsFrame(ch) {
 			// Nobody is listening and the transport pays per subscriber:
 			// skip the fault predicates and the encode outright. A frame
@@ -110,7 +173,7 @@ func (c *Caster) CastSlot(abs int) {
 			c.tr.Skip(ch, abs)
 			continue
 		}
-		f := Frame{Channel: ch, Slot: uint32(abs), Page: c.prog.At(ch, col)}
+		f := Frame{Channel: ch, Slot: uint32(abs), Page: prog.At(ch, col)}
 		c.frame = appendFrame(c.frame[:0], f)
 		if c.fault != nil && c.fault.Corrupt(ch, abs) {
 			// Flip a page byte after the checksum was computed: the frame

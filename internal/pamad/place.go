@@ -107,45 +107,62 @@ func PlaceEvenly(gs *core.GroupSet, s delaymodel.Frequencies, nReal int) (*core.
 	sort.SliceStable(order, func(a, b int) bool { return s[order[a]] > s[order[b]] })
 
 	for _, gi := range order {
-		g := gs.Group(gi)
-		si := s[gi]
-		for j := 0; j < g.Count; j++ {
-			id := gs.PageAt(gi, j)
-			for k := 0; k < si; k++ {
-				start := core.CeilDiv(tMajor*k, si)
-				end := core.CeilDiv(tMajor*(k+1), si)
-				col := chain.find(start)
-				if col >= end {
-					// Nothing free inside the window: spill cyclically from
-					// its end. end <= t_major (k < S_i), and wrapping to
-					// find(0) matches the cyclic scan because when every
-					// column >= end is full the first free column overall
-					// precedes end.
-					stats.Spills++
-					col = chain.find(end)
-					if col == tMajor {
-						col = chain.find(0)
-					}
-					if col == tMajor {
-						return nil, stats, fmt.Errorf(
-							"pamad: no free slot for page %d appearance %d/%d (t_major=%d, F=%d, N=%d)",
-							id, k+1, si, tMajor, s.TotalSlots(gs), nReal)
-					}
-				}
-				// Columns fill bottom-up and are never cleared, so the first
-				// empty channel is determined by the fill count alone.
-				if err := prog.Place(nReal-freeInCol[col], col, id); err != nil {
-					return nil, stats, err
-				}
-				freeInCol[col]--
-				if freeInCol[col] == 0 {
-					chain.markFull(col)
-				}
-			}
+		if err := placeGroupPages(prog, gs, s, gi, tMajor, nReal, chain, freeInCol, &stats, nil); err != nil {
+			return nil, stats, err
 		}
 	}
 	stats.EmptySlots = nReal*tMajor - prog.Filled()
 	return prog, stats, nil
+}
+
+// placeGroupPages runs the Algorithm 4 inner loop for every page of group
+// gi against the live chain/freeInCol state, optionally recording each
+// placement into cells. It is the one placement loop shared by PlaceEvenly,
+// the incremental Placer's full build, and the Placer's suffix replay — the
+// bit-identity of incremental rebuilds rests on all three walking exactly
+// this code.
+func placeGroupPages(prog *core.Program, gs *core.GroupSet, s delaymodel.Frequencies, gi, tMajor, nReal int, chain colChain, freeInCol []int, stats *PlacementStats, cells *[]Cell) error {
+	g := gs.Group(gi)
+	si := s[gi]
+	for j := 0; j < g.Count; j++ {
+		id := gs.PageAt(gi, j)
+		for k := 0; k < si; k++ {
+			start := core.CeilDiv(tMajor*k, si)
+			end := core.CeilDiv(tMajor*(k+1), si)
+			col := chain.find(start)
+			if col >= end {
+				// Nothing free inside the window: spill cyclically from
+				// its end. end <= t_major (k < S_i), and wrapping to
+				// find(0) matches the cyclic scan because when every
+				// column >= end is full the first free column overall
+				// precedes end.
+				stats.Spills++
+				col = chain.find(end)
+				if col == tMajor {
+					col = chain.find(0)
+				}
+				if col == tMajor {
+					return fmt.Errorf(
+						"pamad: no free slot for page %d appearance %d/%d (t_major=%d, F=%d, N=%d)",
+						id, k+1, si, tMajor, s.TotalSlots(gs), nReal)
+				}
+			}
+			// Columns fill bottom-up and are never cleared, so the first
+			// empty channel is determined by the fill count alone.
+			ch := nReal - freeInCol[col]
+			if err := prog.Place(ch, col, id); err != nil {
+				return err
+			}
+			if cells != nil {
+				*cells = append(*cells, Cell{Channel: int32(ch), Column: int32(col)})
+			}
+			freeInCol[col]--
+			if freeInCol[col] == 0 {
+				chain.markFull(col)
+			}
+		}
+	}
+	return nil
 }
 
 // findFreeColumn returns the first column in [start, end) with a free cell.

@@ -23,7 +23,7 @@ echo "==> go test -shuffle=on ./..."
 go test -shuffle=on ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/netcast/... ./internal/opt/... ./internal/ptas/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
+go test -race ./internal/netcast/... ./internal/opt/... ./internal/ptas/... ./internal/replan/... ./internal/sim/... ./internal/chaos/... ./internal/experiments/... ./cmd/...
 
 echo "==> chaos smoke (determinism gate against BENCH_chaos.json)"
 go run ./cmd/airbench -chaos -chaosout BENCH_chaos_new.json -chaosbaseline BENCH_chaos.json
@@ -36,6 +36,9 @@ go run ./cmd/loadgen -clients 1000 -dists uniform,sskew -out ""
 
 echo "==> optscale smoke (PTAS scaling gate against BENCH_optscale.json)"
 go run ./cmd/airbench -optscale -optscaleout BENCH_optscale_new.json -optscalebaseline BENCH_optscale.json
+
+echo "==> replan smoke (incremental >=10x gate against BENCH_replan.json)"
+go run ./cmd/airbench -replan -replanout BENCH_replan_new.json -replanbaseline BENCH_replan.json
 
 if [ "$FUZZTIME" = "0" ]; then
     echo "==> fuzz smoke skipped (FUZZTIME=0)"
@@ -51,6 +54,7 @@ else
     go test -fuzz=FuzzSketchQuantile'$'     -fuzztime="$FUZZTIME" ./internal/stats/
     go test -fuzz=FuzzChaosDeterminism'$'   -fuzztime="$FUZZTIME" ./internal/chaos/
     go test -fuzz=FuzzPTASEquivalence'$'    -fuzztime="$FUZZTIME" ./internal/opt/
+    go test -fuzz=FuzzReplanEquivalence'$'  -fuzztime="$FUZZTIME" ./internal/replan/
 fi
 
 echo "==> all checks passed"
