@@ -16,6 +16,7 @@
 //	airbench -netcast -netcastbaseline BENCH_netcast.json  # fan-out engine gate
 //	airbench -optscale -optscalebaseline BENCH_optscale.json  # PTAS scaling gate
 //	airbench -replan -replanbaseline BENCH_replan.json  # incremental replan gate
+//	airbench -hybrid -hybridbaseline BENCH_hybrid.json  # online hybrid tier gate
 //
 // -csv switches Figure 5 output to CSV for plotting; -stride k samples
 // every k-th channel count to trade resolution for speed.
@@ -60,6 +61,9 @@ func run(args []string, out io.Writer) error {
 	optscaleBench := fs.Bool("optscale", false, "measure the (1+eps) PTAS optimizer against branch-and-bound along the scaling ladder and write a trajectory report")
 	optscaleout := fs.String("optscaleout", "BENCH_optscale.json", "report path for -optscale")
 	optscalebaseline := fs.String("optscalebaseline", "", "prior -optscale report to compare against; drift fails the run")
+	hybridBench := fs.Bool("hybrid", false, "measure the online hybrid tier (serial/parallel bit-identity, conservation oracles, intensity x split matrix) and write a trajectory report")
+	hybridout := fs.String("hybridout", "BENCH_hybrid.json", "report path for -hybrid")
+	hybridbaseline := fs.String("hybridbaseline", "", "prior -hybrid report to compare against; drift fails the run")
 	replanBench := fs.Bool("replan", false, "measure the incremental replan engine against a from-scratch rebuild (single-page deltas at 10^5 pages, >=10x gate) and write a trajectory report")
 	replanout := fs.String("replanout", "BENCH_replan.json", "report path for -replan")
 	replanbaseline := fs.String("replanbaseline", "", "prior -replan report to compare against; drift fails the run")
@@ -87,6 +91,14 @@ func run(args []string, out io.Writer) error {
 		return runChaosBench(p, chaosConfig{
 			out:      *chaosout,
 			baseline: *chaosbaseline,
+			slowdown: *maxSlowdown,
+			allocs:   *maxAllocGrowth,
+		}, out)
+	}
+	if *hybridBench {
+		return runHybridBench(hybridConfig{
+			out:      *hybridout,
+			baseline: *hybridbaseline,
 			slowdown: *maxSlowdown,
 			allocs:   *maxAllocGrowth,
 		}, out)

@@ -33,6 +33,7 @@ import (
 	"tcsa/internal/core"
 	"tcsa/internal/eventsim"
 	"tcsa/internal/ondemand"
+	"tcsa/internal/online"
 	"tcsa/internal/sim"
 	"tcsa/internal/workload"
 )
@@ -56,6 +57,8 @@ func run(args []string, out io.Writer) error {
 	mode := fs.String("mode", "aware", "client strategy: aware|scan")
 	abandon := fs.Float64("abandon", 0, "abandon after this multiple of the expected time (0 = never)")
 	service := fs.Float64("service", 2, "on-demand service time (slots) for abandoned requests")
+	onlinePolicy := fs.String("online", "", "route abandoned clients through the slot-level online broadcast tier under this policy: lwf|mrf|edf|fcfs (requires -abandon)")
+	splitSpec := fs.String("split", "reserved:1", "online-tier pull/push split for -online: pure|reserved[:K]|steal[:T]")
 	requests := fs.Int("requests", 1000, "number of client requests")
 	parallel := fs.Int("parallel", 0, "measure with the streaming sharded sampler over N workers instead of the event simulation (0 = event simulation)")
 	seed := fs.Int64("seed", 1, "request seed")
@@ -77,6 +80,20 @@ func run(args []string, out io.Writer) error {
 	sched, err := tcsa.Build(gs, n)
 	if err != nil {
 		return err
+	}
+
+	if *onlinePolicy != "" {
+		if *abandon <= 0 {
+			return fmt.Errorf("-online routes abandoned clients; it requires -abandon > 0")
+		}
+		// Parse eagerly so flag typos fail before the simulation runs, even
+		// when no client ends up defecting.
+		if _, err := online.ParsePolicy(*onlinePolicy); err != nil {
+			return err
+		}
+		if _, err := online.ParseSplit(*splitSpec); err != nil {
+			return err
+		}
 	}
 
 	if *parallel > 0 {
@@ -132,8 +149,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	var abandoned []workload.Request
+	var defectedAt []float64
 	if *abandon > 0 {
-		cfg.OnAbandon = func(r workload.Request, _ float64) { abandoned = append(abandoned, r) }
+		cfg.OnAbandon = func(r workload.Request, at float64) {
+			abandoned = append(abandoned, r)
+			defectedAt = append(defectedAt, at)
+		}
 	}
 	if *loss > 0 {
 		cfg.Drop, err = lossModel(*loss, *burst, *seed)
@@ -171,6 +192,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if len(abandoned) > 0 {
+		if *onlinePolicy != "" {
+			res, policy, split, err := onlineThrough(sched.Program, abandoned, defectedAt, *onlinePolicy, *splitSpec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\nonline tier (%v policy, %v split):\n", policy, split)
+			fmt.Fprintf(out, "  defectors:     %d\n", res.Requests)
+			fmt.Fprintf(out, "  push-served:   %d\n", res.PushServed)
+			fmt.Fprintf(out, "  online-served: %d (%d airings, %d stolen slots)\n",
+				res.OnlineServed, res.OnlineAirings, res.StolenSlots)
+			fmt.Fprintf(out, "  avg flow:      %.3f slots\n", res.AvgFlow)
+			fmt.Fprintf(out, "  max flow:      %.3f slots\n", res.MaxFlow)
+			fmt.Fprintf(out, "  max delay fac: %.3f\n", res.MaxDelayFactor)
+			return nil
+		}
 		m, err := pullThrough(abandoned, gs, *service)
 		if err != nil {
 			return err
@@ -182,6 +218,30 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  max queue:     %d\n", m.MaxQueueLen)
 	}
 	return nil
+}
+
+// onlineThrough replays abandoned clients against the slot-level online
+// broadcast tier: each defector enters the live queue at its defection
+// instant and is served by whichever tier airs its page first.
+func onlineThrough(prog *core.Program, abandoned []workload.Request, defectedAt []float64,
+	policySpec, splitSpec string) (*online.Result, online.Policy, online.Split, error) {
+	policy, err := online.ParsePolicy(policySpec)
+	if err != nil {
+		return nil, 0, online.Split{}, err
+	}
+	split, err := online.ParseSplit(splitSpec)
+	if err != nil {
+		return nil, 0, online.Split{}, err
+	}
+	reqs := make([]workload.Request, len(abandoned))
+	for i, r := range abandoned {
+		reqs[i] = workload.Request{Page: r.Page, Arrival: defectedAt[i]}
+	}
+	res, err := online.Run(prog, workload.SliceStream(reqs), online.Config{Policy: policy, Split: split})
+	if err != nil {
+		return nil, 0, online.Split{}, err
+	}
+	return res, policy, split, nil
 }
 
 // lossModel builds the requested channel model: uniform independent loss,

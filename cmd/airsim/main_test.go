@@ -137,3 +137,39 @@ func TestRunParallelSamplerConflicts(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWithOnlineTier(t *testing.T) {
+	for _, split := range []string{"reserved:1", "pure", "steal:2"} {
+		var out strings.Builder
+		err := run([]string{
+			"-dist", "uniform", "-pages", "100", "-groups", "4", "-channels", "2",
+			"-abandon", "1.0", "-requests", "500", "-online", "lwf", "-split", split,
+		}, &out)
+		if err != nil {
+			t.Fatalf("split %s: %v", split, err)
+		}
+		s := out.String()
+		for _, want := range []string{"online tier (lwf policy", "defectors:", "avg flow:"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("split %s: missing %q:\n%s", split, want, s)
+			}
+		}
+		if strings.Contains(s, "on-demand channel") {
+			t.Errorf("split %s: queueing section printed with -online:\n%s", split, s)
+		}
+	}
+}
+
+func TestRunOnlineTierErrors(t *testing.T) {
+	tests := [][]string{
+		{"-counts", "3,5,3", "-online", "lwf"},                                       // no -abandon
+		{"-counts", "3,5,3", "-abandon", "1.0", "-online", "teleport"},               // bad policy
+		{"-counts", "3,5,3", "-abandon", "1.0", "-online", "lwf", "-split", "quota"}, // bad split
+	}
+	for _, args := range tests {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

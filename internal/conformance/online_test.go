@@ -1,0 +1,132 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"tcsa/internal/core"
+)
+
+// onlineTestProgram is a 1-channel, 4-slot grid airing pages 0..2 with
+// slot 3 empty (page 3 exists but never airs on push).
+func onlineTestProgram(t *testing.T) *core.Program {
+	t.Helper()
+	gs, err := core.NewGroupSet([]core.Group{{Count: 4, Time: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(gs, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		if err := prog.Place(0, s, core.PageID(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return prog
+}
+
+func TestOnlineConservationAccepts(t *testing.T) {
+	prog := onlineTestProgram(t)
+	// Page 3 only airs online, at slot 3; page 1 is push-served at slot 1.
+	airings := []SlotAiring{{Slot: 3, Channel: 0, Page: 3}}
+	pages := []core.PageID{1, 3}
+	arrivals := []float64{0.5, 1}
+	flows := []float64{0.5, 2}
+	if err := OnlineConservation(prog, 1, airings, pages, arrivals, flows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineConservationRejects(t *testing.T) {
+	prog := onlineTestProgram(t)
+	airings := []SlotAiring{{Slot: 3, Channel: 0, Page: 3}}
+	cases := []struct {
+		name     string
+		airings  []SlotAiring
+		pages    []core.PageID
+		arrivals []float64
+		flows    []float64
+		want     string
+	}{
+		{
+			name:  "wrong flow",
+			pages: []core.PageID{1}, arrivals: []float64{0.5}, flows: []float64{1.5},
+			airings: airings, want: "first on-air instant",
+		},
+		{
+			name:  "never served",
+			pages: []core.PageID{3}, arrivals: []float64{4.5}, flows: []float64{1},
+			airings: airings, want: "never served",
+		},
+		{
+			name:  "preempted push cell",
+			pages: []core.PageID{}, arrivals: []float64{}, flows: []float64{},
+			airings: []SlotAiring{{Slot: 1, Channel: 0, Page: 3}}, want: "preempts push cell",
+		},
+		{
+			name:  "duplicate of push broadcast",
+			pages: []core.PageID{}, arrivals: []float64{}, flows: []float64{},
+			airings: []SlotAiring{{Slot: 6, Channel: 5, Page: 2}}, want: "duplicates push broadcast",
+		},
+		{
+			name:  "length mismatch",
+			pages: []core.PageID{1}, arrivals: []float64{}, flows: []float64{},
+			airings: airings, want: "arrivals",
+		},
+	}
+	for _, tc := range cases {
+		err := OnlineConservation(prog, 1, tc.airings, tc.pages, tc.arrivals, tc.flows)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPushIntegrityOracle(t *testing.T) {
+	prog := onlineTestProgram(t)
+	ok := []SlotAiring{
+		{Slot: 3, Channel: 0, Page: 3}, // empty push cell
+		{Slot: 1, Channel: 5, Page: 3}, // reserved channel, above the grid
+	}
+	if err := PushIntegrity(prog, 1, ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SlotAiring{{Slot: 5, Channel: 0, Page: 3}} // column 1 holds page 1
+	if err := PushIntegrity(prog, 1, bad); err == nil {
+		t.Fatal("overwritten push cell not detected")
+	}
+	if err := PushIntegrity(prog, 9, nil); err == nil {
+		t.Fatal("push rows beyond the grid not detected")
+	}
+}
+
+func TestLWFDominanceOracle(t *testing.T) {
+	if err := LWFDominance(10, "fcfs", 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := LWFDominance(10, "fcfs", 10); err != nil {
+		t.Fatal("equality must pass")
+	}
+	if err := LWFDominance(13, "fcfs", 12); err == nil {
+		t.Fatal("dominance violation not detected")
+	}
+}
+
+func TestSingleChannelBacklogShape(t *testing.T) {
+	pages, arrivals := SingleChannelBacklog(3, 5)
+	if len(pages) != 8 || len(arrivals) != 8 {
+		t.Fatalf("shape: %d/%d", len(pages), len(arrivals))
+	}
+	for i := 0; i < 5; i++ {
+		if pages[i] != core.PageID(i) || arrivals[i] != 0 {
+			t.Fatalf("decoy %d: page %d arrival %g", i, pages[i], arrivals[i])
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if pages[i] != 5 || arrivals[i] != 0.25 {
+			t.Fatalf("hot %d: page %d arrival %g", i, pages[i], arrivals[i])
+		}
+	}
+}

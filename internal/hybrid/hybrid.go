@@ -7,8 +7,12 @@
 // the on-demand channels."
 //
 // Run drives a request population through the broadcast simulator; clients
-// whose wait exceeds their patience defect and are replayed, at their
-// defection instants, against a queueing model of the pull server. The
+// whose wait exceeds their patience defect at their defection instants
+// into the pull tier. Two pull tiers are available: the default queueing
+// model of the on-demand uplink (internal/ondemand), and — when
+// Config.Online is set — the slot-level online broadcast scheduler
+// (internal/online), where defectors join a live request queue whose
+// policy competes with the push program for actual broadcast slots. The
 // Report quantifies both sides plus the end-to-end picture, making the
 // paper's motivating trade-off directly measurable for any scheduler.
 package hybrid
@@ -21,6 +25,7 @@ import (
 	"tcsa/internal/core"
 	"tcsa/internal/eventsim"
 	"tcsa/internal/ondemand"
+	"tcsa/internal/online"
 	"tcsa/internal/sim"
 	"tcsa/internal/stats"
 	"tcsa/internal/workload"
@@ -33,8 +38,15 @@ type Config struct {
 	// is just the broadcast simulator).
 	AbandonAfter float64
 	// Pull configures the on-demand server (service time, workers,
-	// discipline, queue bound).
+	// discipline, queue bound). Ignored when Online is set.
 	Pull ondemand.Config
+	// Online, when non-nil, routes defectors into the slot-level online
+	// broadcast tier instead of the on-demand queueing model: they enter
+	// the live request queue at their defection instants and are served by
+	// whichever tier airs their page first under Online.Split.
+	// Online.RecordFlows is forced on (the per-defector flows feed the
+	// end-to-end statistics).
+	Online *online.Config
 	// Mode selects the broadcast client strategy; default ScheduleAware.
 	Mode sim.ClientMode
 	// Drop optionally injects broadcast frame loss.
@@ -42,6 +54,7 @@ type Config struct {
 	// DeadlineSlack extends the pull deadline: a defector's response is
 	// counted as a deadline miss if it completes after
 	// arrival + DeadlineSlack * expected time. 0 defaults to 3.
+	// Only meaningful for the on-demand pull tier.
 	DeadlineSlack float64
 }
 
@@ -50,13 +63,17 @@ type Report struct {
 	// Air is the broadcast side: served/abandoned counts and wait/delay
 	// statistics for the clients the air satisfied.
 	Air sim.Outcome
-	// Pull is the on-demand side: queueing statistics for the defectors.
+	// Pull is the on-demand side: queueing statistics for the defectors
+	// (zero when Config.Online routed them to the online tier instead).
 	Pull ondemand.Metrics
+	// Online is the online-tier outcome for the defectors, present only
+	// when Config.Online was set.
+	Online *online.Result
 	// PullShare is the fraction of all requests that defected.
 	PullShare float64
 	// EndToEnd summarises total latency (arrival to data) across both
 	// paths: broadcast waits for the served, wait-until-defection plus
-	// pull response for the defectors.
+	// pull flow/response for the defectors.
 	EndToEnd stats.Summary
 }
 
@@ -82,12 +99,22 @@ func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Report, erro
 		at  float64
 	}
 	var defections []defection
+	// Served-client waits come from the simulator's own serve events, not
+	// from the closed-form appearance structure: under frame loss (or any
+	// future fault mode) the two disagree, and reconstructing the served
+	// set analytically double-counts clients the simulator defected.
+	endToEnd := make([]float64, 0, len(reqs))
 	air, err := sim.Run(prog, reqs, sim.Config{
 		Mode:         cfg.Mode,
 		AbandonAfter: cfg.AbandonAfter,
 		Drop:         cfg.Drop,
 		OnAbandon: func(r workload.Request, at float64) {
 			defections = append(defections, defection{req: r, at: at})
+		},
+		Trace: func(ev sim.Event) {
+			if ev.Kind == sim.EventServe {
+				endToEnd = append(endToEnd, ev.Time-reqs[ev.Client].Arrival)
+			}
 		},
 	})
 	if err != nil {
@@ -99,21 +126,28 @@ func Run(prog *core.Program, reqs []workload.Request, cfg Config) (*Report, erro
 		report.PullShare = float64(len(defections)) / float64(len(reqs))
 	}
 
-	// End-to-end latencies. Served clients: their broadcast wait, taken
-	// from the closed-form appearance structure the event simulator is
-	// verified (in the sim package tests) to match exactly. Defectors:
-	// wait-until-defection plus their individual pull response, correlated
-	// through the server's completion hook.
-	endToEnd := make([]float64, 0, len(reqs))
-	a := core.Analyze(prog)
-	for _, r := range reqs {
-		wait := a.NextAfter(r.Page, r.Arrival)
-		if wait <= cfg.AbandonAfter*float64(gs.TimeOf(r.Page)) {
-			endToEnd = append(endToEnd, wait)
+	switch {
+	case len(defections) == 0:
+		// No pull tier to drive.
+	case cfg.Online != nil:
+		// Defectors join the online tier's live queue at their defection
+		// instants; their end-to-end latency is the time already burned
+		// waiting on air plus the online tier's flow time.
+		ocfg := *cfg.Online
+		ocfg.RecordFlows = true
+		defReqs := make([]workload.Request, len(defections))
+		for i, d := range defections {
+			defReqs[i] = workload.Request{Page: d.req.Page, Arrival: d.at}
 		}
-	}
-
-	if len(defections) > 0 {
+		res, err := online.Run(prog, workload.SliceStream(defReqs), ocfg)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid: online tier: %w", err)
+		}
+		report.Online = res
+		for i, d := range defections {
+			endToEnd = append(endToEnd, (d.at-d.req.Arrival)+res.Flows[i])
+		}
+	default:
 		var clock eventsim.Simulator
 		pullCfg := cfg.Pull
 		pullCfg.OnComplete = func(req ondemand.Request, submitted, completed float64) {

@@ -4,8 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"tcsa/internal/airwave"
 	"tcsa/internal/mpb"
 	"tcsa/internal/ondemand"
+	"tcsa/internal/online"
 	"tcsa/internal/pamad"
 	"tcsa/internal/susc"
 	"tcsa/internal/workload"
@@ -151,5 +153,111 @@ func TestPAMADShedsLessThanMPB(t *testing.T) {
 	}
 	if p.Pull.AvgResponse >= m.Pull.AvgResponse {
 		t.Errorf("PAMAD pull response %f not below m-PB's %f", p.Pull.AvgResponse, m.Pull.AvgResponse)
+	}
+}
+
+// TestDropAccountingExactlyOnce is the frame-loss accounting regression:
+// with a deterministic drop function, clients whose closed-form wait is
+// within the impatience threshold still defect on the simulated air. The
+// served set must come from the simulator's serve events — reconstructing
+// it from core.Analyze counted those clients twice (once as analytically
+// "served", once as defectors).
+func TestDropAccountingExactlyOnce(t *testing.T) {
+	gs, err := workload.GroupSet(workload.Uniform, 3, 30, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := susc.BuildMinimal(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 has t=2: suppressing its frames for the first 64 slots pushes
+	// every page-0 client past arrival + 1.0*2 and forces defection, while
+	// the closed-form wait (loss-blind) stays within the threshold.
+	drop := func(f airwave.Frame) bool { return f.Page == 0 && f.Slot < 64 }
+	reqs := []workload.Request{
+		{Page: 0, Arrival: 0.5},
+		{Page: 0, Arrival: 3},
+		{Page: 0, Arrival: 7.25},
+		{Page: 10, Arrival: 1},
+		{Page: 20, Arrival: 2.5},
+	}
+	rep, err := Run(prog, reqs, Config{
+		AbandonAfter: 1.0,
+		Drop:         drop,
+		Pull:         ondemand.Config{ServiceTime: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Air.Abandoned != 3 || rep.Air.Served != 2 {
+		t.Fatalf("served %d abandoned %d, want 2/3", rep.Air.Served, rep.Air.Abandoned)
+	}
+	// The regression: the analytic reconstruction yielded N = 8 here
+	// (3 defectors double-counted). Exactly-once accounting yields 5.
+	if rep.EndToEnd.N != len(reqs) {
+		t.Fatalf("end-to-end covers %d requests, want %d (defectors double-counted?)",
+			rep.EndToEnd.N, len(reqs))
+	}
+	if rep.Pull.Completed != 3 {
+		t.Fatalf("pull completed %d, want 3", rep.Pull.Completed)
+	}
+	// Defector latency = wait-until-defection (>= 2 slots) + pull response
+	// (>= 2 slots service): the max must reflect the loss, not the
+	// loss-blind closed form (<= 2 slots on this program).
+	if rep.EndToEnd.Max < 4 {
+		t.Fatalf("end-to-end max %f too small for a defected client", rep.EndToEnd.Max)
+	}
+}
+
+// TestOnlineTierRouting: with Config.Online set, defectors enter the
+// slot-level online scheduler at their defection instants instead of the
+// queueing model, and the end-to-end summary still covers every request
+// exactly once.
+func TestOnlineTierRouting(t *testing.T) {
+	gs, err := workload.GroupSet(workload.Uniform, 4, 80, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := pamad.Build(gs, 3) // scarce: defections guaranteed
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.GenerateRequests(gs, prog.Length(), workload.RequestConfig{Count: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(prog, reqs, Config{
+		AbandonAfter: 1.0,
+		Online: &online.Config{
+			Policy: online.LWF,
+			Split:  online.Split{Mode: online.SplitReserved, OnlineChannels: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Air.Abandoned == 0 {
+		t.Fatal("expected defections on a scarce program")
+	}
+	if rep.Online == nil {
+		t.Fatal("online result missing")
+	}
+	if rep.Online.Requests != rep.Air.Abandoned {
+		t.Fatalf("online tier saw %d requests, want %d defectors", rep.Online.Requests, rep.Air.Abandoned)
+	}
+	if rep.Pull.Submitted != 0 {
+		t.Fatalf("queueing model still saw %d requests with the online tier active", rep.Pull.Submitted)
+	}
+	if rep.EndToEnd.N != len(reqs) {
+		t.Fatalf("end-to-end covers %d, want %d", rep.EndToEnd.N, len(reqs))
+	}
+	if got := len(rep.Online.Flows); got != rep.Air.Abandoned {
+		t.Fatalf("per-defector flows %d, want %d (RecordFlows must be forced on)", got, rep.Air.Abandoned)
+	}
+	// Every defector burned at least its full patience on air first, so the
+	// end-to-end max must be at least the online tier's max flow.
+	if rep.EndToEnd.Max < rep.Online.MaxFlow {
+		t.Fatalf("end-to-end max %f below online max flow %f", rep.EndToEnd.Max, rep.Online.MaxFlow)
 	}
 }

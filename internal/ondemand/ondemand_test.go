@@ -244,3 +244,106 @@ func TestOnCompleteHook(t *testing.T) {
 		t.Errorf("second completion = %+v", got[1])
 	}
 }
+
+// TestZeroRequestMetrics: a server that never saw a request must report a
+// well-defined all-zero snapshot, not NaNs from empty-slice means.
+func TestZeroRequestMetrics(t *testing.T) {
+	var sim eventsim.Simulator
+	srv, err := New(&sim, Config{ServiceTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	m := srv.Metrics()
+	if m != (Metrics{}) {
+		t.Fatalf("zero-request metrics = %+v, want zero value", m)
+	}
+	if math.IsNaN(m.AvgResponse) || math.IsNaN(m.AvgQueueLen) {
+		t.Fatal("NaN leaked into empty metrics")
+	}
+}
+
+// TestDeadlineMissBoundary pins the miss semantics: a completion exactly at
+// its deadline is on time (strict now > Deadline), and the nearest float
+// below the completion instant misses.
+func TestDeadlineMissBoundary(t *testing.T) {
+	run := func(deadline float64) Metrics {
+		var sim eventsim.Simulator
+		srv, _ := New(&sim, Config{ServiceTime: 2})
+		_ = sim.At(0, func() {
+			srv.Submit(Request{Deadline: deadline})
+		})
+		sim.Run()
+		return srv.Metrics()
+	}
+	if m := run(2); m.DeadlineMisses != 0 {
+		t.Errorf("completion exactly at deadline counted as miss: %+v", m)
+	}
+	if m := run(math.Nextafter(2, 0)); m.DeadlineMisses != 1 {
+		t.Errorf("completion just past deadline not counted: %+v", m)
+	}
+}
+
+// TestRejectionAccounting: Submit counts a rejected request as submitted
+// (the uplink saw it), returns false, and leaves the queue untouched, so
+// conservation holds through and after the rejection burst.
+func TestRejectionAccounting(t *testing.T) {
+	var sim eventsim.Simulator
+	srv, _ := New(&sim, Config{ServiceTime: 1, QueueLimit: 1})
+	var rejectedAt0 int
+	_ = sim.At(0, func() {
+		for i := 0; i < 4; i++ { // 1 in service, 1 queued, 2 rejected
+			if !srv.Submit(Request{Deadline: NoDeadline}) {
+				rejectedAt0++
+			}
+		}
+		m := srv.Metrics()
+		if m.Submitted != m.Completed+m.Rejected+srv.QueueLen()+srv.Busy() {
+			t.Errorf("conservation inside burst: %+v", m)
+		}
+	})
+	// After the backlog drains the bound no longer binds.
+	_ = sim.At(10, func() {
+		if !srv.Submit(Request{Deadline: NoDeadline}) {
+			t.Error("post-drain submission rejected")
+		}
+	})
+	sim.Run()
+	m := srv.Metrics()
+	if rejectedAt0 != 2 || m.Rejected != 2 {
+		t.Errorf("rejected %d/%d, want 2", rejectedAt0, m.Rejected)
+	}
+	if m.Submitted != 5 || m.Completed != 3 {
+		t.Errorf("metrics = %+v, want 5 submitted / 3 completed", m)
+	}
+	if m.MaxQueueLen != 1 {
+		t.Errorf("MaxQueueLen = %d, want 1 (rejections never enter the queue)", m.MaxQueueLen)
+	}
+}
+
+// TestSimultaneousCompletionOrder: workers finishing at the same instant
+// fire OnComplete in service-start order — the eventsim (time, seq) rule,
+// not map or heap accidents.
+func TestSimultaneousCompletionOrder(t *testing.T) {
+	var sim eventsim.Simulator
+	var order []uint64
+	srv, _ := New(&sim, Config{
+		ServiceTime: 2,
+		Workers:     3,
+		OnComplete: func(req Request, _, completed float64) {
+			if completed != 2 {
+				t.Errorf("tag %d completed at %f, want 2", req.Tag, completed)
+			}
+			order = append(order, req.Tag)
+		},
+	})
+	_ = sim.At(0, func() {
+		for _, tag := range []uint64{11, 22, 33} {
+			srv.Submit(Request{Tag: tag, Deadline: NoDeadline})
+		}
+	})
+	sim.Run()
+	if len(order) != 3 || order[0] != 11 || order[1] != 22 || order[2] != 33 {
+		t.Fatalf("completion order %v, want [11 22 33]", order)
+	}
+}

@@ -158,9 +158,11 @@ type PoissonConfig struct {
 }
 
 // GeneratePoissonRequests draws cfg.Count requests with Poisson arrivals
-// and the configured page-choice model. Arrival instants are absolute
-// simulation times (they exceed one cycle for long streams); consumers
-// treat the program as cyclic.
+// and the configured page-choice model (UniformPages or ZipfPages, as in
+// GenerateRequests). Arrival instants are absolute simulation times (they
+// exceed one cycle for long streams); consumers treat the program as
+// cyclic. The draw order is gap first, then page, so uniform streams are
+// bit-identical to those generated before Zipf support existed.
 func GeneratePoissonRequests(gs *core.GroupSet, cfg PoissonConfig) ([]Request, error) {
 	if gs == nil {
 		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
@@ -171,16 +173,44 @@ func GeneratePoissonRequests(gs *core.GroupSet, cfg PoissonConfig) ([]Request, e
 	if cfg.Rate <= 0 {
 		return nil, fmt.Errorf("workload: poisson rate %f", cfg.Rate)
 	}
+	cdf, err := poissonPageCDF(gs.Pages(), cfg.RequestConfig)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := gs.Pages()
 	reqs := make([]Request, cfg.Count)
 	now := 0.0
 	for i := range reqs {
 		now += rng.ExpFloat64() / cfg.Rate
-		reqs[i] = Request{
-			Page:    core.PageID(rng.Intn(n)),
-			Arrival: now,
+		page := core.PageID(0)
+		if cdf != nil {
+			page = core.PageID(searchCDF(cdf, rng.Float64()))
+		} else {
+			page = core.PageID(rng.Intn(n))
 		}
+		reqs[i] = Request{Page: page, Arrival: now}
 	}
 	return reqs, nil
+}
+
+// poissonPageCDF resolves a Poisson stream's page-choice model: nil for
+// UniformPages (the rng.Intn fast path, kept bit-identical to historical
+// streams) or the Zipf CDF for ZipfPages.
+func poissonPageCDF(n int, cfg RequestConfig) ([]float64, error) {
+	switch cfg.Choice {
+	case UniformPages:
+		return nil, nil
+	case ZipfPages:
+		theta := cfg.Theta
+		if theta == 0 {
+			theta = 0.8
+		}
+		if theta < 0 || theta > 1 {
+			return nil, fmt.Errorf("workload: zipf theta %f outside (0,1]", theta)
+		}
+		return zipfCDF(n, theta), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown page choice %d", cfg.Choice)
+	}
 }

@@ -98,7 +98,7 @@ type genStream struct {
 	count int
 	pages int
 	cycle float64   // slot span of one broadcast cycle (uniform/zipf)
-	cdf   []float64 // Zipf CDF (zipf only)
+	cdf   []float64 // Zipf CDF (zipf, and poisson with ZipfPages)
 	rate  float64   // arrivals per slot (poisson only)
 	seed  int64
 }
@@ -142,11 +142,11 @@ func NewStream(gs *core.GroupSet, cycleLen int, cfg RequestConfig) (Stream, erro
 }
 
 // NewPoissonStream builds an on-the-fly equivalent of
-// GeneratePoissonRequests. Shard 0 replays it draw for draw; shard k > 0
-// restarts the arrival clock at the expected offset k*ShardSize/Rate, so
-// the stream keeps the configured rate while every shard stays
-// independently seekable. Arrivals are non-decreasing within each shard
-// (Sorted is true).
+// GeneratePoissonRequests, honouring the configured page-choice model.
+// Shard 0 replays it draw for draw; shard k > 0 restarts the arrival clock
+// at the expected offset k*ShardSize/Rate, so the stream keeps the
+// configured rate while every shard stays independently seekable. Arrivals
+// are non-decreasing within each shard (Sorted is true).
 func NewPoissonStream(gs *core.GroupSet, cfg PoissonConfig) (Stream, error) {
 	if gs == nil {
 		return nil, fmt.Errorf("%w: nil group set", core.ErrInvalidGroupSet)
@@ -157,10 +157,15 @@ func NewPoissonStream(gs *core.GroupSet, cfg PoissonConfig) (Stream, error) {
 	if cfg.Rate <= 0 {
 		return nil, fmt.Errorf("workload: poisson rate %f", cfg.Rate)
 	}
+	cdf, err := poissonPageCDF(gs.Pages(), cfg.RequestConfig)
+	if err != nil {
+		return nil, err
+	}
 	return &genStream{
 		kind:  genPoisson,
 		count: cfg.Count,
 		pages: gs.Pages(),
+		cdf:   cdf,
 		rate:  cfg.Rate,
 		seed:  cfg.Seed,
 	}, nil
@@ -209,7 +214,11 @@ func (c *genCursor) Next(r *Request) bool {
 		r.Arrival = c.rng.Float64() * s.cycle
 	default: // genPoisson
 		c.now += c.rng.ExpFloat64() / s.rate
-		r.Page = core.PageID(c.rng.Intn(s.pages))
+		if s.cdf != nil {
+			r.Page = core.PageID(searchCDF(s.cdf, c.rng.Float64()))
+		} else {
+			r.Page = core.PageID(c.rng.Intn(s.pages))
+		}
 		r.Arrival = c.now
 	}
 	return true

@@ -227,3 +227,76 @@ func TestShardSeed(t *testing.T) {
 		t.Error("different stream seeds collide on the same shard")
 	}
 }
+
+// TestPoissonZipfPages: Poisson generation honours the Zipf page-choice
+// model — the generator and the stream agree draw for draw, the skew
+// actually lands on low page IDs, and the uniform path's draw sequence is
+// untouched (gap first, then page, same bits as before Zipf support).
+func TestPoissonZipfPages(t *testing.T) {
+	gs := streamGS(t)
+	zipf := PoissonConfig{
+		RequestConfig: RequestConfig{Count: 4000, Seed: 31, Choice: ZipfPages, Theta: 0.9},
+		Rate:          2,
+	}
+	want, err := GeneratePoissonRequests(gs, zipf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewPoissonStream(gs, zipf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRequests(t, "poisson-zipf", collect(t, stream), want)
+
+	// The skew is real: page 0 must dominate the top page by a wide margin
+	// (uniform would give both ~1/11 of the stream).
+	counts := make([]int, gs.Pages())
+	for _, r := range want {
+		counts[r.Page]++
+	}
+	if counts[0] < 2*counts[gs.Pages()-1] {
+		t.Errorf("zipf skew missing: page 0 drew %d, page %d drew %d",
+			counts[0], gs.Pages()-1, counts[gs.Pages()-1])
+	}
+
+	// Uniform Poisson arrivals are bit-identical whether or not the Choice
+	// field exists: same gaps, same pages.
+	uni := PoissonConfig{RequestConfig: RequestConfig{Count: 1000, Seed: 31}, Rate: 2}
+	a, err := GeneratePoissonRequests(gs, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni.Choice = UniformPages // explicit zero value: must not change draws
+	b, err := GeneratePoissonRequests(gs, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRequests(t, "uniform-poisson", b, a)
+
+	// Zipf and uniform share the arrival clock draw order, so their
+	// arrival instants coincide bit for bit — only pages differ.
+	zc := uni
+	zc.Choice, zc.Theta = ZipfPages, 0.9
+	z, err := GeneratePoissonRequests(gs, zc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range z {
+		if math.Float64bits(z[i].Arrival) != math.Float64bits(a[i].Arrival) {
+			t.Fatalf("arrival %d drifted under zipf: %v vs %v", i, z[i].Arrival, a[i].Arrival)
+		}
+	}
+
+	// Invalid configurations are rejected by both construction paths.
+	bad := PoissonConfig{RequestConfig: RequestConfig{Count: 1, Choice: ZipfPages, Theta: 2}, Rate: 1}
+	if _, err := GeneratePoissonRequests(gs, bad); err == nil {
+		t.Error("theta 2 accepted by generator")
+	}
+	if _, err := NewPoissonStream(gs, bad); err == nil {
+		t.Error("theta 2 accepted by stream")
+	}
+	bad.Choice = PageChoice(9)
+	if _, err := NewPoissonStream(gs, bad); err == nil {
+		t.Error("unknown page choice accepted by stream")
+	}
+}
